@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks for the hot paths of the implementation
+// itself: simulator event dispatch, coroutine round trips, state-table
+// transitions, buffer-cache operations, and simulated RPC round trips.
+// These measure host-CPU cost (how fast the simulator runs), not simulated
+// time.
+#include <benchmark/benchmark.h>
+
+#include "src/cache/buffer_cache.h"
+#include "src/net/network.h"
+#include "src/rpc/peer.h"
+#include "src/sim/simulator.h"
+#include "src/snfs/state_table.h"
+
+namespace {
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.Schedule(i, [] {});
+    }
+    simulator.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+sim::Task<void> PingPong(sim::Simulator& simulator, int depth) {
+  for (int i = 0; i < depth; ++i) {
+    co_await sim::Sleep(simulator, 1);
+  }
+}
+
+void BM_CoroutineSleepLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    simulator.Spawn(PingPong(simulator, 1000));
+    simulator.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineSleepLoop);
+
+void BM_StateTableOpenClose(benchmark::State& state) {
+  snfs::StateTable table;
+  proto::FileHandle fh{1, 42, 0};
+  for (auto _ : state) {
+    table.OnOpen(fh, 1, true, 1);
+    table.OnClose(fh, 1, true, false);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_StateTableOpenClose);
+
+void BM_StateTableWriteSharingTransition(benchmark::State& state) {
+  proto::FileHandle fh{1, 42, 0};
+  for (auto _ : state) {
+    snfs::StateTable table;
+    table.OnOpen(fh, 1, false, 1);
+    table.OnOpen(fh, 2, false, 1);
+    benchmark::DoNotOptimize(table.OnOpen(fh, 3, true, 1));  // callbacks computed
+    table.OnClose(fh, 1, false, false);
+    table.OnClose(fh, 2, false, false);
+    table.OnClose(fh, 3, true, false);
+  }
+  state.SetItemsProcessed(state.iterations() * 6);
+}
+BENCHMARK(BM_StateTableWriteSharingTransition);
+
+void BM_BufferCacheHitRead(benchmark::State& state) {
+  sim::Simulator simulator;
+  cache::BufferCacheParams params;
+  params.enable_sync_daemon = false;
+  cache::BufferCache cache(simulator, params);
+  cache::Backing backing;
+  backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    co_return std::vector<uint8_t>(cache::kBlockSize, 1);
+  };
+  backing.store = [](uint64_t, uint64_t, std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
+    co_return base::OkStatus();
+  };
+  int mount = cache.RegisterMount(std::move(backing));
+  // Warm one block.
+  simulator.Spawn([](cache::BufferCache& cache, int mount) -> sim::Task<void> {
+    (void)co_await cache.Read(mount, 1, 0, cache::kBlockSize, cache::kBlockSize, false);
+  }(cache, mount));
+  simulator.Run();
+
+  for (auto _ : state) {
+    simulator.Spawn([](cache::BufferCache& cache, int mount) -> sim::Task<void> {
+      auto r = co_await cache.Read(mount, 1, 0, cache::kBlockSize, cache::kBlockSize, false);
+      benchmark::DoNotOptimize(r);
+    }(cache, mount));
+    simulator.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheHitRead);
+
+void BM_SimulatedRpcRoundTrip(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Network network(simulator, {});
+  sim::Cpu client_cpu(simulator);
+  sim::Cpu server_cpu(simulator);
+  rpc::Peer client(simulator, network, client_cpu, "client");
+  rpc::Peer server(simulator, network, server_cpu, "server");
+  server.set_handler([](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+    co_return proto::OkReply(proto::NullRep{});
+  });
+  client.Start();
+  server.Start();
+
+  for (auto _ : state) {
+    simulator.Spawn([](rpc::Peer& client, net::Address dst) -> sim::Task<void> {
+      auto r = co_await client.Call(dst, proto::Request(proto::NullReq{}));
+      benchmark::DoNotOptimize(r);
+    }(client, server.address()));
+    simulator.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedRpcRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

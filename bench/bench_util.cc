@@ -1,0 +1,105 @@
+#include "bench/bench_util.h"
+
+#include "src/base/check.h"
+
+namespace bench {
+
+using testbed::Protocol;
+using testbed::Rig;
+using testbed::RigOptions;
+
+AndrewRun RunAndrewConfig(Protocol protocol, bool remote_tmp, RigOptions options, int trials) {
+  options.protocol = protocol;
+  options.remote_tmp = remote_tmp;
+  Rig rig(options);
+
+  workload::AndrewShape shape;  // full-size: 70 files, ~200 KB
+  rig.simulator().Spawn(workload::PopulateAndrewTree(rig.data_fs(), rig.data_parent(), shape));
+  rig.simulator().Run();
+
+  AndrewRun run;
+  for (int trial = 0; trial < trials; ++trial) {
+    workload::AndrewConfig config;
+    config.src_root = rig.data_root() + "/src";
+    config.target_root = rig.data_root() + "/t" + std::to_string(trial);
+    config.tmp_dir = rig.tmp_dir();
+    config.shape = shape;
+
+    metrics::OpCounters before = rig.client_rpcs();
+    uint64_t disk_w = rig.served_disk().writes();
+    uint64_t disk_r = rig.served_disk().reads();
+    sim::Duration cpu0 = rig.server() != nullptr ? rig.server()->cpu().busy_time() : 0;
+
+    bool ok = false;
+    rig.simulator().Spawn(
+        [](Rig& rig, workload::AndrewConfig config, AndrewRun* run, bool* ok) -> sim::Task<void> {
+          auto report = co_await workload::RunAndrew(rig.simulator(), rig.client().vfs(),
+                                                     rig.client().cpu(), config);
+          CHECK(report.ok());
+          run->report = *report;
+          *ok = true;
+        }(rig, config, &run, &ok));
+    rig.simulator().Run();
+    CHECK(ok);
+
+    run.rpcs = rig.client_rpcs().Diff(before);
+    run.server_disk_writes = rig.served_disk().writes() - disk_w;
+    run.server_disk_reads = rig.served_disk().reads() - disk_r;
+    run.server_cpu_busy = rig.server() != nullptr ? rig.server()->cpu().busy_time() - cpu0 : 0;
+    run.wall = run.report.total;
+  }
+  return run;
+}
+
+SortRun RunSortConfig(Protocol protocol, uint64_t input_bytes, bool sync_daemon,
+                      size_t usable_cache_blocks, RigOptions options) {
+  options.protocol = protocol;
+  options.remote_tmp = protocol != Protocol::kLocal;  // only the temp dir varies
+  options.client.cache.enable_sync_daemon = sync_daemon;
+  // In the Table 5-3 regime the sort's working set does not fit the usable
+  // share of the paper's 16 MB client cache (the kernel owns part of it).
+  // The pressure matters: evicting a *dirty* block stalls the writer for a
+  // server round trip under SNFS but is free under NFS (whose blocks are
+  // clean, already written through) — one of the effects behind Table 5-3.
+  options.client.cache.capacity_blocks = usable_cache_blocks;
+  Rig rig(options);
+
+  CHECK(rig.client().local_fs() != nullptr);
+  rig.simulator().Spawn(workload::PopulateSortInput(
+      *rig.client().local_fs(), rig.client().local_fs()->root(), "input", input_bytes, 7777));
+  rig.simulator().Run();
+
+  workload::SortConfig config;
+  config.input_path = "/local/input";
+  config.output_path = "/local/output";
+  config.tmp_dir = rig.tmp_dir();
+
+  metrics::OpCounters before = rig.client_rpcs();
+  uint64_t disk_w = rig.served_disk().writes();
+  sim::Duration cpu0 = rig.client().cpu().busy_time();
+
+  SortRun run;
+  bool ok = false;
+  rig.simulator().Spawn(
+      [](Rig& rig, workload::SortConfig config, SortRun* run, bool* ok) -> sim::Task<void> {
+        auto report = co_await workload::RunSort(rig.simulator(), rig.client().vfs(),
+                                                 rig.client().cpu(), config);
+        CHECK(report.ok());
+        CHECK(report->verified);
+        run->report = *report;
+        *ok = true;
+      }(rig, config, &run, &ok));
+  rig.simulator().Run();
+  CHECK(ok);
+
+  run.rpcs = rig.client_rpcs().Diff(before);
+  run.server_disk_writes = rig.served_disk().writes() - disk_w;
+  sim::Duration cpu_used = rig.client().cpu().busy_time() - cpu0;
+  run.client_cpu_utilization =
+      run.report.elapsed > 0
+          ? static_cast<double>(cpu_used) / static_cast<double>(run.report.elapsed)
+          : 0.0;
+  return run;
+}
+
+}  // namespace bench

@@ -1,0 +1,54 @@
+// Shared helpers for the table/figure reproduction binaries: run one
+// workload on one Rig configuration and collect elapsed time, RPC counts,
+// and disk counters.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/metrics/op_counters.h"
+#include "src/metrics/table.h"
+#include "src/testbed/rig.h"
+#include "src/workload/andrew.h"
+#include "src/workload/sort.h"
+
+namespace bench {
+
+struct AndrewRun {
+  workload::AndrewReport report;
+  metrics::OpCounters rpcs;       // client-issued RPCs during the run
+  uint64_t server_disk_writes = 0;
+  uint64_t server_disk_reads = 0;
+  sim::Duration server_cpu_busy = 0;
+  sim::Duration wall = 0;  // == report.total
+};
+
+struct SortRun {
+  workload::SortReport report;
+  metrics::OpCounters rpcs;
+  uint64_t server_disk_writes = 0;
+  double client_cpu_utilization = 0.0;
+};
+
+// Run the full-size Andrew benchmark once on the given configuration.
+// `trials` > 1 reuses the rig (warm caches, fresh target subtree per trial)
+// and reports the last trial, as the paper ran repeated trials back to back
+// "so that NFS would not be charged for writes incurred by SNFS".
+AndrewRun RunAndrewConfig(testbed::Protocol protocol, bool remote_tmp,
+                          testbed::RigOptions options = {}, int trials = 2);
+
+// Run the sort benchmark once; `input_bytes` selects the paper's row;
+// `sync_daemon` false reproduces the "infinite write-delay" §5.4 variant.
+// `usable_cache_blocks` sets the client cache share available to the sort:
+// the Table 5-3 regime leaves it under pressure (the kernel owns part of
+// the 16 MB), while the §5.4 experiment needs the temporaries to "fit
+// easily into the client cache" (§5.1).
+SortRun RunSortConfig(testbed::Protocol protocol, uint64_t input_bytes, bool sync_daemon = true,
+                      size_t usable_cache_blocks = 1280, testbed::RigOptions options = {});
+
+inline double Ratio(double a, double b) { return b == 0 ? 0 : a / b; }
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Runs a compact Andrew-style build (the paper's motivating workload: a
+// compiler alternating computation with disk output, rereading popular
+// headers, and churning short-lived temporaries) on NFS and on SNFS, and
+// prints the per-phase comparison.
+//
+//   ./build/examples/compile_farm
+#include <cstdio>
+
+#include "src/testbed/rig.h"
+#include "src/workload/andrew.h"
+
+using testbed::Protocol;
+using testbed::Rig;
+using testbed::RigOptions;
+
+namespace {
+
+workload::AndrewReport RunOn(Protocol protocol) {
+  RigOptions options;
+  options.protocol = protocol;
+  options.remote_tmp = true;  // diskless workstation: even /tmp is remote
+  Rig rig(options);
+
+  workload::AndrewShape shape;
+  shape.dirs = 3;
+  shape.files_per_dir = 8;  // a compact tree so the example runs instantly
+  rig.simulator().Spawn(workload::PopulateAndrewTree(rig.data_fs(), rig.data_parent(), shape));
+  rig.simulator().Run();
+
+  workload::AndrewConfig config;
+  config.src_root = rig.data_root() + "/src";
+  config.target_root = rig.data_root() + "/target";
+  config.tmp_dir = rig.tmp_dir();
+  config.shape = shape;
+
+  workload::AndrewReport report;
+  rig.simulator().Spawn([](Rig& rig, workload::AndrewConfig config,
+                           workload::AndrewReport& report) -> sim::Task<void> {
+    auto result = co_await workload::RunAndrew(rig.simulator(), rig.client().vfs(),
+                                               rig.client().cpu(), config);
+    if (result.ok()) {
+      report = *result;
+    }
+  }(rig, config, report));
+  rig.simulator().Run();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Building a 24-file project on a diskless workstation...\n\n");
+  workload::AndrewReport nfs = RunOn(Protocol::kNfs);
+  workload::AndrewReport snfs = RunOn(Protocol::kSnfs);
+
+  std::printf("%-10s %12s %12s %10s\n", "Phase", "NFS (s)", "SNFS (s)", "speedup");
+  for (int p = 0; p < workload::kNumAndrewPhases; ++p) {
+    double n = sim::ToSeconds(nfs.phase_time[p]);
+    double s = sim::ToSeconds(snfs.phase_time[p]);
+    std::printf("%-10s %12.2f %12.2f %9.2fx\n",
+                std::string(workload::AndrewPhaseName(static_cast<workload::AndrewPhase>(p)))
+                    .c_str(),
+                n, s, s > 0 ? n / s : 0);
+  }
+  std::printf("%-10s %12.2f %12.2f %9.2fx\n", "Total", sim::ToSeconds(nfs.total),
+              sim::ToSeconds(snfs.total), sim::ToSeconds(nfs.total) / sim::ToSeconds(snfs.total));
+  std::printf("\nThe Make phase gains the most: the compiler's writes overlap with its\n");
+  std::printf("computation under SNFS, and its temporaries die before ever being sent\n");
+  std::printf("to the server.\n");
+  return 0;
+}

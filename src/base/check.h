@@ -1,0 +1,34 @@
+// CHECK macros: invariant enforcement that aborts with location info.
+// These stay enabled in release builds; a simulator with silently corrupted
+// state produces plausible-looking but wrong results.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace base {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace base
+
+#define CHECK(expr)                                  \
+  do {                                               \
+    if (!(expr)) {                                   \
+      ::base::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                \
+  } while (0)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+#define CHECK_OK(expr) CHECK((expr).ok())
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,49 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace base {
+namespace {
+
+LogLevel g_level = LogLevel::kNone;
+NowHook g_now_hook = nullptr;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+void SetLogNowHook(NowHook hook) { g_now_hook = hook; }
+
+void LogVprintf(LogLevel level, const char* tag, const char* fmt, va_list ap) {
+  int64_t now_us = g_now_hook != nullptr ? g_now_hook() : -1;
+  if (now_us >= 0) {
+    std::fprintf(stderr, "[%s %10.6fs %-8s] ", LevelTag(level),
+                 static_cast<double>(now_us) / 1e6, tag);
+  } else {
+    std::fprintf(stderr, "[%s %-8s] ", LevelTag(level), tag);
+  }
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+void Logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  LogVprintf(level, tag, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace base

@@ -1,0 +1,61 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// examples enable it with base::SetLogLevel. The simulator injects the
+// current virtual time via a thread-local hook so log lines are ordered by
+// simulated time, not wall-clock time.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace base {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Hook the simulator installs so log lines carry virtual timestamps
+// (microseconds). Returns -1 when no simulator is running.
+using NowHook = int64_t (*)();
+void SetLogNowHook(NowHook hook);
+
+// printf-style. Prefer the LOG_* macros below, which skip argument
+// evaluation when the level is disabled.
+void LogVprintf(LogLevel level, const char* tag, const char* fmt, va_list ap);
+void Logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace base
+
+#define LOG_ENABLED(level) (::base::GetLogLevel() >= (level))
+
+#define LOG_ERROR(tag, ...)                                        \
+  do {                                                             \
+    if (LOG_ENABLED(::base::LogLevel::kError)) {                   \
+      ::base::Logf(::base::LogLevel::kError, (tag), __VA_ARGS__);  \
+    }                                                              \
+  } while (0)
+
+#define LOG_INFO(tag, ...)                                         \
+  do {                                                             \
+    if (LOG_ENABLED(::base::LogLevel::kInfo)) {                    \
+      ::base::Logf(::base::LogLevel::kInfo, (tag), __VA_ARGS__);   \
+    }                                                              \
+  } while (0)
+
+#define LOG_DEBUG(tag, ...)                                        \
+  do {                                                             \
+    if (LOG_ENABLED(::base::LogLevel::kDebug)) {                   \
+      ::base::Logf(::base::LogLevel::kDebug, (tag), __VA_ARGS__);  \
+    }                                                              \
+  } while (0)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,117 @@
+// Result<T>: value-or-Status, the return type of all fallible operations.
+//
+// C++20 has no std::expected, so this is a small dedicated implementation.
+// Usage:
+//   base::Result<int> r = Parse(s);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/status.h"
+
+namespace base {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value and from Status, so `return value;` and
+  // `return base::ErrNoEnt();` both work.
+  Result(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  Result(Status status) : status_(status) { CHECK(!status.ok()); }
+  Result(Code code) : status_(Status(code)) { CHECK(code != Code::kOk); }
+
+  bool ok() const { return status_.ok(); }
+  Status status() const { return status_; }
+
+  T& value() & {
+    CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Result<void>: just a Status with the Result interface, so generic code
+// (coroutine return types, RETURN_IF_ERROR) treats fallible void operations
+// uniformly.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : status_(OkStatus()) {}
+  Result(Status status) : status_(status) {}
+  Result(Code code) : status_(Status(code)) {}
+
+  bool ok() const { return status_.ok(); }
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// Propagate an error from a Result or Status expression.
+//
+//   RETURN_IF_ERROR(co_await fs.Remove(dir, name));
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    auto _status = ::base::GetStatus((expr));   \
+    if (!_status.ok()) {                        \
+      return _status;                           \
+    }                                           \
+  } while (0)
+
+// Coroutine flavour: co_return the error instead.
+#define CO_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    auto _status = ::base::GetStatus((expr));   \
+    if (!_status.ok()) {                        \
+      co_return _status;                        \
+    }                                           \
+  } while (0)
+
+inline Status GetStatus(Status s) { return s; }
+template <typename T>
+Status GetStatus(const Result<T>& r) {
+  return r.status();
+}
+
+// ASSIGN_OR_RETURN(lhs, rexpr): evaluate rexpr (a Result<T>); on error return
+// (or co_return with the CO_ variant) the status, else assign the value.
+#define ASSIGN_OR_RETURN(lhs, rexpr) ASSIGN_OR_RETURN_IMPL_(BASE_CONCAT_(_r, __LINE__), lhs, rexpr, return)
+#define CO_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL_(BASE_CONCAT_(_r, __LINE__), lhs, rexpr, co_return)
+
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr, ret) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) {                                   \
+    ret tmp.status();                                \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define BASE_CONCAT_INNER_(a, b) a##b
+#define BASE_CONCAT_(a, b) BASE_CONCAT_INNER_(a, b)
+
+}  // namespace base
+
+#endif  // SRC_BASE_RESULT_H_

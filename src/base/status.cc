@@ -1,0 +1,45 @@
+#include "src/base/status.h"
+
+namespace base {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "ok";
+    case Code::kNoEnt:
+      return "noent";
+    case Code::kExist:
+      return "exist";
+    case Code::kIsDir:
+      return "isdir";
+    case Code::kNotDir:
+      return "notdir";
+    case Code::kNotEmpty:
+      return "notempty";
+    case Code::kAccess:
+      return "access";
+    case Code::kNoSpace:
+      return "nospace";
+    case Code::kInval:
+      return "inval";
+    case Code::kBadFd:
+      return "badfd";
+    case Code::kStale:
+      return "stale";
+    case Code::kTimedOut:
+      return "timedout";
+    case Code::kIo:
+      return "io";
+    case Code::kBusy:
+      return "busy";
+    case Code::kNotSupported:
+      return "notsupported";
+    case Code::kUnavailable:
+      return "unavailable";
+    case Code::kInconsistent:
+      return "inconsistent";
+  }
+  return "unknown";
+}
+
+}  // namespace base

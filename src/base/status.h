@@ -1,0 +1,77 @@
+// Error codes used throughout the Spritely NFS reproduction.
+//
+// The codes mirror the errno values a Unix file system / NFS implementation
+// would surface, plus transport-level conditions (timeouts, stale handles).
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace base {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  kNoEnt,         // ENOENT: no such file or directory
+  kExist,         // EEXIST: file exists
+  kIsDir,         // EISDIR: is a directory
+  kNotDir,        // ENOTDIR: not a directory
+  kNotEmpty,      // ENOTEMPTY: directory not empty
+  kAccess,        // EACCES: permission denied
+  kNoSpace,       // ENOSPC: out of blocks / inodes
+  kInval,         // EINVAL: invalid argument
+  kBadFd,         // EBADF: bad file descriptor
+  kStale,         // ESTALE: stale file handle (server lost the file)
+  kTimedOut,      // ETIMEDOUT: RPC gave up after retransmissions
+  kIo,            // EIO: disk or transport failure
+  kBusy,          // EBUSY: resource busy
+  kNotSupported,  // operation not implemented by this file system
+  kUnavailable,   // server down / in recovery grace period
+  kInconsistent,  // SNFS: file may be inconsistent (dead-client callback, §3.2)
+};
+
+// Returns the canonical lowercase name, e.g. "stale" for Code::kStale.
+std::string_view CodeName(Code code);
+
+// A lightweight status word: an error code only, no message allocation.
+// Simulation-scale error handling never needs dynamic messages; callers that
+// want context attach it at the logging site.
+class Status {
+ public:
+  constexpr Status() : code_(Code::kOk) {}
+  constexpr explicit Status(Code code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == Code::kOk; }
+  constexpr Code code() const { return code_; }
+  std::string_view name() const { return CodeName(code_); }
+
+  friend constexpr bool operator==(Status a, Status b) { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Status a, Status b) { return a.code_ != b.code_; }
+
+ private:
+  Code code_;
+};
+
+constexpr Status OkStatus() { return Status(); }
+constexpr Status ErrNoEnt() { return Status(Code::kNoEnt); }
+constexpr Status ErrExist() { return Status(Code::kExist); }
+constexpr Status ErrIsDir() { return Status(Code::kIsDir); }
+constexpr Status ErrNotDir() { return Status(Code::kNotDir); }
+constexpr Status ErrNotEmpty() { return Status(Code::kNotEmpty); }
+constexpr Status ErrAccess() { return Status(Code::kAccess); }
+constexpr Status ErrNoSpace() { return Status(Code::kNoSpace); }
+constexpr Status ErrInval() { return Status(Code::kInval); }
+constexpr Status ErrBadFd() { return Status(Code::kBadFd); }
+constexpr Status ErrStale() { return Status(Code::kStale); }
+constexpr Status ErrTimedOut() { return Status(Code::kTimedOut); }
+constexpr Status ErrIo() { return Status(Code::kIo); }
+constexpr Status ErrBusy() { return Status(Code::kBusy); }
+constexpr Status ErrNotSupported() { return Status(Code::kNotSupported); }
+constexpr Status ErrUnavailable() { return Status(Code::kUnavailable); }
+constexpr Status ErrInconsistent() { return Status(Code::kInconsistent); }
+
+}  // namespace base
+
+#endif  // SRC_BASE_STATUS_H_

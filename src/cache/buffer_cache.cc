@@ -1,0 +1,489 @@
+#include "src/cache/buffer_cache.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/base/log.h"
+
+namespace cache {
+
+BufferCache::BufferCache(sim::Simulator& simulator, BufferCacheParams params)
+    : simulator_(simulator),
+      params_(params),
+      flush_behind_(simulator, params.flush_behind_slots) {}
+
+sim::Mutex& BufferCache::FileGate(const FileKey& fk) {
+  auto it = file_gates_.find(fk);
+  if (it == file_gates_.end()) {
+    it = file_gates_.emplace(fk, std::make_unique<sim::Mutex>(simulator_)).first;
+  }
+  return *it->second;
+}
+
+int BufferCache::RegisterMount(Backing backing) {
+  mounts_.push_back(std::move(backing));
+  return static_cast<int>(mounts_.size()) - 1;
+}
+
+void BufferCache::Start() {
+  if (running_ || !params_.enable_sync_daemon) {
+    return;
+  }
+  running_ = true;
+  stop_requested_ = false;
+  simulator_.Spawn(SyncDaemon());
+}
+
+void BufferCache::Stop() { stop_requested_ = true; }
+
+sim::Task<void> BufferCache::SyncDaemon() {
+  while (!stop_requested_) {
+    co_await sim::Sleep(simulator_, params_.sync_interval, /*background=*/true);
+    if (stop_requested_) {
+      break;
+    }
+    if (params_.sync_policy == SyncPolicy::kSyncAll) {
+      co_await FlushAll();
+    } else {
+      // Age-based: flush blocks that have been dirty for >= dirty_age.
+      sim::Time cutoff = simulator_.Now() - params_.dirty_age;
+      std::vector<Key> old_blocks;
+      for (const auto& [fk, blocks] : dirty_blocks_) {
+        for (uint64_t b : blocks) {
+          Key key{fk.mount, fk.fileid, b};
+          auto it = entries_.find(key);
+          if (it != entries_.end() && it->second.dirty && it->second.dirty_since <= cutoff) {
+            old_blocks.push_back(key);
+          }
+        }
+      }
+      for (const Key& key : old_blocks) {
+        auto it = entries_.find(key);
+        if (it == entries_.end() || !it->second.dirty) {
+          continue;  // cancelled or flushed while we were writing others
+        }
+        std::vector<uint8_t> data = it->second.data;
+        MarkClean(key, it->second);
+        co_await StoreBlock(key, std::move(data));
+      }
+    }
+  }
+  running_ = false;
+}
+
+BufferCache::Entry* BufferCache::Find(const Key& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void BufferCache::Touch(Entry& entry, const Key& key) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+BufferCache::Entry& BufferCache::InsertEntry(const Key& key, std::vector<uint8_t> data,
+                                             bool dirty) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.data = std::move(data);
+    Touch(it->second, key);
+    if (dirty) {
+      MarkDirty(key, it->second);
+    }
+    return it->second;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.lru_it = lru_.begin();
+  auto [ins, ok] = entries_.emplace(key, std::move(entry));
+  CHECK(ok);
+  if (dirty) {
+    MarkDirty(key, ins->second);
+  }
+  return ins->second;
+}
+
+void BufferCache::EraseEntry(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.dirty) {
+    MarkClean(key, it->second);
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void BufferCache::MarkDirty(const Key& key, Entry& entry) {
+  if (!entry.dirty) {
+    entry.dirty = true;
+    entry.dirty_since = simulator_.Now();
+    dirty_blocks_[FileKey{key.mount, key.fileid}].insert(key.block);
+  }
+}
+
+void BufferCache::MarkClean(const Key& key, Entry& entry) {
+  if (entry.dirty) {
+    entry.dirty = false;
+    FileKey fk{key.mount, key.fileid};
+    auto it = dirty_blocks_.find(fk);
+    if (it != dirty_blocks_.end()) {
+      it->second.erase(key.block);
+      if (it->second.empty()) {
+        dirty_blocks_.erase(it);
+      }
+    }
+  }
+}
+
+void BufferCache::RegisterStore(const Key& key) {
+  ++flushing_files_[FileKey{key.mount, key.fileid}];
+  auto [it, inserted] = in_flight_stores_.emplace(key, sim::Promise<bool>(simulator_));
+  CHECK(inserted);
+}
+
+void BufferCache::FinishStore(const Key& key) {
+  auto it = in_flight_stores_.find(key);
+  if (it != in_flight_stores_.end()) {
+    it->second.TrySet(true);
+    in_flight_stores_.erase(it);
+  }
+  FileKey fk{key.mount, key.fileid};
+  auto fit = flushing_files_.find(fk);
+  CHECK(fit != flushing_files_.end());
+  if (--fit->second == 0) {
+    flushing_files_.erase(fit);
+  }
+}
+
+// Registered store: the caller already called RegisterStore(key).
+sim::Task<void> BufferCache::PerformStore(Key key, std::vector<uint8_t> data) {
+  ++stats_.writebacks;
+  auto result = co_await mounts_[key.mount].store(key.fileid, key.block, std::move(data));
+  FinishStore(key);
+  if (!result.ok()) {
+    LOG_ERROR("cache", "writeback failed for file %llu block %llu: %s",
+              static_cast<unsigned long long>(key.fileid),
+              static_cast<unsigned long long>(key.block), std::string(result.status().name()).c_str());
+  }
+}
+
+// Unregistered store: waits out any in-flight store of the same block
+// (the block was re-dirtied and re-cleaned), then registers and performs.
+sim::Task<void> BufferCache::StoreBlock(const Key& key, std::vector<uint8_t> data) {
+  while (true) {
+    auto it = in_flight_stores_.find(key);
+    if (it == in_flight_stores_.end()) {
+      break;
+    }
+    sim::Future<bool> prior = it->second.GetFuture();
+    co_await prior;
+  }
+  RegisterStore(key);
+  co_await PerformStore(key, std::move(data));
+}
+
+sim::Task<void> BufferCache::AsyncStore(Key key, std::vector<uint8_t> data) {
+  co_await PerformStore(key, std::move(data));
+  flush_behind_.Release();
+}
+
+sim::Task<void> BufferCache::EvictIfNeeded() {
+  while (entries_.size() > params_.capacity_blocks) {
+    // Find the least-recently-used entry. Dirty victims are handed to the
+    // bounded write-behind pipeline: the evictor stalls only when every
+    // slot is occupied (the writer has outrun the backing store).
+    CHECK(!lru_.empty());
+    Key victim = lru_.back();
+    auto it = entries_.find(victim);
+    CHECK(it != entries_.end());
+    ++stats_.evictions;
+    if (it->second.dirty) {
+      if (in_flight_stores_.contains(victim)) {
+        // A previous store of this very block is still in flight; wait for
+        // it before starting another, then re-evaluate.
+        sim::Future<bool> prior = in_flight_stores_.at(victim).GetFuture();
+        co_await prior;
+        continue;
+      }
+      std::vector<uint8_t> data = it->second.data;
+      MarkClean(victim, it->second);
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+      RegisterStore(victim);
+      co_await flush_behind_.Acquire();
+      simulator_.Spawn(AsyncStore(victim, std::move(data)));
+    } else {
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+  }
+}
+
+sim::Task<base::Result<void>> BufferCache::FetchInto(const Key& key, uint64_t file_size) {
+  ++stats_.misses;
+  // An evicted dirty block may still be on its way to the backing store;
+  // fetching before it lands would resurrect stale data.
+  auto flight = in_flight_stores_.find(key);
+  if (flight != in_flight_stores_.end()) {
+    sim::Future<bool> done = flight->second.GetFuture();
+    co_await done;
+  }
+  auto fetched = co_await mounts_[key.mount].fetch(key.fileid, key.block);
+  if (!fetched.ok()) {
+    co_return fetched.status();
+  }
+  // A concurrent write may have populated (and dirtied) the block while the
+  // fetch was in flight; the local copy wins.
+  if (Entry* existing = Find(key); existing == nullptr) {
+    InsertEntry(key, std::move(*fetched), /*dirty=*/false);
+    co_await EvictIfNeeded();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<std::vector<uint8_t>>> BufferCache::Read(int mount, uint64_t fileid,
+                                                                uint64_t offset, uint32_t count,
+                                                                uint64_t file_size,
+                                                                bool read_ahead) {
+  std::vector<uint8_t> out;
+  uint64_t end = std::min<uint64_t>(file_size, offset + count);
+  if (offset >= end) {
+    co_return out;
+  }
+  out.reserve(end - offset);
+  uint64_t first_block = offset / kBlockSize;
+  uint64_t last_block = (end - 1) / kBlockSize;
+  for (uint64_t b = first_block; b <= last_block; ++b) {
+    Key key{mount, fileid, b};
+    uint64_t block_start = b * kBlockSize;
+    uint64_t want_from = std::max<uint64_t>(offset, block_start) - block_start;
+    uint64_t want_to = std::min<uint64_t>(end, block_start + kBlockSize) - block_start;
+
+    Entry* entry = Find(key);
+    bool usable = entry != nullptr && (entry->dirty || entry->data.size() >= want_to);
+    if (usable) {
+      ++stats_.hits;
+      Touch(*entry, key);
+    } else {
+      CO_RETURN_IF_ERROR(co_await FetchInto(key, file_size));
+      entry = Find(key);
+      if (entry == nullptr) {
+        // Evicted between fetch and use under extreme pressure; treat the
+        // fetched bytes as gone and retry once via the backing store
+        // (waiting out any in-flight write-back of this block first).
+        auto flight = in_flight_stores_.find(key);
+        if (flight != in_flight_stores_.end()) {
+          sim::Future<bool> done = flight->second.GetFuture();
+          co_await done;
+        }
+        auto direct = co_await mounts_[mount].fetch(fileid, b);
+        if (!direct.ok()) {
+          co_return direct.status();
+        }
+        const std::vector<uint8_t>& data = *direct;
+        uint64_t avail = std::min<uint64_t>(want_to, data.size());
+        for (uint64_t i = want_from; i < avail; ++i) {
+          out.push_back(data[i]);
+        }
+        continue;
+      }
+      Touch(*entry, key);
+    }
+    uint64_t avail = std::min<uint64_t>(want_to, entry->data.size());
+    for (uint64_t i = want_from; i < avail; ++i) {
+      out.push_back(entry->data[i]);
+    }
+  }
+
+  if (read_ahead) {
+    uint64_t next = last_block + 1;
+    if (next * kBlockSize < file_size && Find(Key{mount, fileid, next}) == nullptr) {
+      ++stats_.read_aheads;
+      // Asynchronous prefetch: don't block the reader.
+      simulator_.Spawn([](BufferCache& cache, int mount, uint64_t fileid, uint64_t next,
+                          uint64_t file_size) -> sim::Task<void> {
+        (void)co_await cache.FetchInto(Key{mount, fileid, next}, file_size);
+      }(*this, mount, fileid, next, file_size));
+    }
+  }
+  co_return out;
+}
+
+sim::Task<base::Result<void>> BufferCache::WriteDelayed(int mount, uint64_t fileid,
+                                                        uint64_t offset,
+                                                        const std::vector<uint8_t>& data,
+                                                        uint64_t old_file_size) {
+  if (data.empty()) {
+    co_return base::OkStatus();
+  }
+  if (params_.flush_blocks_writers) {
+    sim::Mutex& gate = FileGate(FileKey{mount, fileid});
+    if (gate.locked()) {
+      // This file is being flushed; stall on the busy buffers like a
+      // 4.3BSD writer would.
+      co_await gate.Acquire();
+      gate.Release();
+    }
+  }
+  uint64_t end = offset + data.size();
+  uint64_t first_block = offset / kBlockSize;
+  uint64_t last_block = (end - 1) / kBlockSize;
+  for (uint64_t b = first_block; b <= last_block; ++b) {
+    Key key{mount, fileid, b};
+    uint64_t block_start = b * kBlockSize;
+    uint64_t to_from = std::max<uint64_t>(offset, block_start) - block_start;
+    uint64_t to_to = std::min<uint64_t>(end, block_start + kBlockSize) - block_start;
+
+    Entry* entry = Find(key);
+    if (entry == nullptr) {
+      // Partial update of a block that has pre-existing backing data needs
+      // a fetch-before-write; whole-block overwrites and appends past the
+      // old EOF do not.
+      bool partial = to_from > 0 || (to_to < kBlockSize && block_start + to_to < old_file_size);
+      bool has_backing = block_start < old_file_size;
+      if (partial && has_backing) {
+        CO_RETURN_IF_ERROR(co_await FetchInto(key, old_file_size));
+        entry = Find(key);
+      }
+      if (entry == nullptr) {
+        entry = &InsertEntry(key, {}, /*dirty=*/false);
+      }
+    } else {
+      Touch(*entry, key);
+    }
+    if (entry->data.size() < to_to) {
+      entry->data.resize(to_to);
+    }
+    std::copy(data.begin() + static_cast<int64_t>(block_start + to_from - offset),
+              data.begin() + static_cast<int64_t>(block_start + to_to - offset),
+              entry->data.begin() + static_cast<int64_t>(to_from));
+    ++stats_.delayed_writes;
+    MarkDirty(key, *entry);
+  }
+  co_await EvictIfNeeded();
+  co_return base::OkStatus();
+}
+
+void BufferCache::InsertClean(int mount, uint64_t fileid, uint64_t offset,
+                              const std::vector<uint8_t>& data) {
+  if (data.empty()) {
+    return;
+  }
+  uint64_t end = offset + data.size();
+  uint64_t first_block = offset / kBlockSize;
+  uint64_t last_block = (end - 1) / kBlockSize;
+  for (uint64_t b = first_block; b <= last_block; ++b) {
+    Key key{mount, fileid, b};
+    uint64_t block_start = b * kBlockSize;
+    uint64_t to_from = std::max<uint64_t>(offset, block_start) - block_start;
+    uint64_t to_to = std::min<uint64_t>(end, block_start + kBlockSize) - block_start;
+    Entry* entry = Find(key);
+    if (entry == nullptr) {
+      if (to_from != 0) {
+        continue;  // can't represent a hole; skip caching this fragment
+      }
+      entry = &InsertEntry(key, {}, /*dirty=*/false);
+    } else {
+      Touch(*entry, key);
+    }
+    if (entry->data.size() < to_to) {
+      entry->data.resize(to_to);
+    }
+    std::copy(data.begin() + static_cast<int64_t>(block_start + to_from - offset),
+              data.begin() + static_cast<int64_t>(block_start + to_to - offset),
+              entry->data.begin() + static_cast<int64_t>(to_from));
+  }
+  // Synchronous trim: InsertClean is not a coroutine, so evict clean blocks
+  // only; dirty overflow is handled by the next coroutine operation.
+  while (entries_.size() > params_.capacity_blocks && !lru_.empty()) {
+    Key victim = lru_.back();
+    auto it = entries_.find(victim);
+    if (it->second.dirty) {
+      break;
+    }
+    ++stats_.evictions;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+}
+
+sim::Task<base::Result<void>> BufferCache::FlushFile(int mount, uint64_t fileid) {
+  FileKey fk{mount, fileid};
+  sim::Mutex* gate = nullptr;
+  if (params_.flush_blocks_writers && HasDirty(mount, fileid)) {
+    gate = &FileGate(fk);
+    co_await gate->Acquire();
+  }
+  while (true) {
+    auto it = dirty_blocks_.find(fk);
+    if (it == dirty_blocks_.end() || it->second.empty()) {
+      break;
+    }
+    uint64_t block = *it->second.begin();
+    Key key{mount, fileid, block};
+    auto eit = entries_.find(key);
+    CHECK(eit != entries_.end());
+    std::vector<uint8_t> data = eit->second.data;
+    MarkClean(key, eit->second);
+    co_await StoreBlock(key, std::move(data));
+  }
+  if (gate != nullptr) {
+    gate->Release();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<void> BufferCache::FlushAll() {
+  while (!dirty_blocks_.empty()) {
+    FileKey fk = dirty_blocks_.begin()->first;
+    (void)co_await FlushFile(fk.mount, fk.fileid);
+  }
+}
+
+void BufferCache::InvalidateFile(int mount, uint64_t fileid) {
+  std::vector<Key> victims;
+  for (const auto& [key, entry] : entries_) {
+    if (key.mount == mount && key.fileid == fileid) {
+      victims.push_back(key);
+    }
+  }
+  for (const Key& key : victims) {
+    EraseEntry(key);
+  }
+}
+
+uint64_t BufferCache::CancelDirty(int mount, uint64_t fileid) {
+  FileKey fk{mount, fileid};
+  auto it = dirty_blocks_.find(fk);
+  if (it == dirty_blocks_.end()) {
+    return 0;
+  }
+  std::vector<uint64_t> blocks(it->second.begin(), it->second.end());
+  for (uint64_t b : blocks) {
+    EraseEntry(Key{mount, fileid, b});
+  }
+  stats_.cancelled_writes += blocks.size();
+  return blocks.size();
+}
+
+bool BufferCache::HasDirty(int mount, uint64_t fileid) const {
+  FileKey fk{mount, fileid};
+  auto it = dirty_blocks_.find(fk);
+  if (it != dirty_blocks_.end() && !it->second.empty()) {
+    return true;
+  }
+  // Blocks being written back have not reached the backing store yet.
+  return flushing_files_.contains(fk);
+}
+
+size_t BufferCache::DirtyBlockCount() const {
+  size_t n = 0;
+  for (const auto& [fk, blocks] : dirty_blocks_) {
+    n += blocks.size();
+  }
+  return n;
+}
+
+}  // namespace cache

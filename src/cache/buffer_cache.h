@@ -1,0 +1,212 @@
+// The GFS block buffer cache (client side).
+//
+// One cache per machine, shared by every mounted file system (as Ultrix GFS
+// "manages the file system block buffer cache"), keyed by
+// (mount, fileid, block). It supports:
+//
+//  * read caching with optional one-block read-ahead (disabled by SNFS for
+//    non-cachable files, §4.2.1);
+//  * delayed writes: dirty blocks age in the cache and are written back by
+//    a periodic sync daemon (/etc/update's 30 s sync — §4.2.3), by cache
+//    pressure (LRU eviction), or by explicit flush (SNFS callbacks, NFS
+//    close);
+//  * cancellation of delayed writes when a file is deleted ("Sprite and
+//    SNFS take advantage of this behavior by cancelling delayed writes
+//    when a file is deleted", §4.2.3) — the mechanism behind the paper's
+//    temporary-file results (Tables 5-5/5-6);
+//  * whole-file invalidation (NFS timestamp mismatch, SNFS callbacks).
+//
+// Policy (when to delay, when to write through, when to flush) belongs to
+// the protocol clients; the cache provides mechanism only.
+#ifndef SRC_CACHE_BUFFER_CACHE_H_
+#define SRC_CACHE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <list>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/sim/future.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace cache {
+
+inline constexpr uint32_t kBlockSize = 4096;
+
+// How the sync daemon picks blocks to write back.
+enum class SyncPolicy {
+  // Traditional Unix /etc/update: every interval, write ALL dirty blocks.
+  kSyncAll,
+  // Sprite: write blocks once they reach `dirty_age` in age.
+  kAgeBased,
+};
+
+struct BufferCacheParams {
+  size_t capacity_blocks = 4096;        // 16 MB — the paper's client cache
+  sim::Duration sync_interval = sim::Sec(30);
+  sim::Duration dirty_age = sim::Sec(30);  // used by kAgeBased
+  SyncPolicy sync_policy = SyncPolicy::kSyncAll;
+  bool enable_sync_daemon = true;       // off = "infinite write-delay" (§5.4)
+  // 4.3BSD-style sync(): while the update daemon is pushing a file's dirty
+  // buffers, a writer to the same file stalls on the busy buffers. This is
+  // the mechanism that keeps the paper's SNFS sort slower than the local
+  // sort despite identical CPU use: the stall lasts as long as the flush,
+  // and remote flushes are an order of magnitude slower per block.
+  bool flush_blocks_writers = true;
+  // Dirty evictions go through a bounded asynchronous write-behind
+  // pipeline; the evicting writer stalls only when all slots are busy
+  // (i.e. the process outruns the backing store's drain rate).
+  int flush_behind_slots = 4;
+};
+
+// Per-mount backing store callbacks (issue RPCs / local disk ops).
+struct Backing {
+  // Fetch one block; returns the bytes present (possibly short at EOF).
+  std::function<sim::Task<base::Result<std::vector<uint8_t>>>(uint64_t fileid, uint64_t block)>
+      fetch;
+  // Store `data` (block-aligned at `block`); len == data.size() <= kBlockSize.
+  std::function<sim::Task<base::Result<void>>(uint64_t fileid, uint64_t block,
+                                              std::vector<uint8_t> data)>
+      store;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t delayed_writes = 0;     // blocks dirtied
+  uint64_t writebacks = 0;         // blocks pushed to backing
+  uint64_t cancelled_writes = 0;   // dirty blocks dropped by delete
+  uint64_t evictions = 0;
+  uint64_t read_aheads = 0;
+};
+
+class BufferCache {
+ public:
+  BufferCache(sim::Simulator& simulator, BufferCacheParams params = {});
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  // Register a mount's backing store; returns the mount id used in all ops.
+  int RegisterMount(Backing backing);
+
+  // Spawn the periodic sync daemon (no-op if disabled by params).
+  void Start();
+  void Stop();
+
+  // Read `count` bytes at `offset` from a file whose current size is
+  // `file_size`; missing blocks are fetched from the backing store. With
+  // `read_ahead`, the block after the last one touched is prefetched.
+  sim::Task<base::Result<std::vector<uint8_t>>> Read(int mount, uint64_t fileid, uint64_t offset,
+                                                     uint32_t count, uint64_t file_size,
+                                                     bool read_ahead);
+
+  // Delayed write: update cached blocks and mark them dirty. Partial-block
+  // updates of blocks with existing backing data fetch the block first.
+  sim::Task<base::Result<void>> WriteDelayed(int mount, uint64_t fileid, uint64_t offset,
+                                             const std::vector<uint8_t>& data,
+                                             uint64_t old_file_size);
+
+  // Insert already-written-through data as clean blocks (NFS client write
+  // path: the RPC carried the data; keep a copy for subsequent reads).
+  void InsertClean(int mount, uint64_t fileid, uint64_t offset, const std::vector<uint8_t>& data);
+
+  // Write all of one file's dirty blocks to the backing store.
+  sim::Task<base::Result<void>> FlushFile(int mount, uint64_t fileid);
+
+  // Write every dirty block (sync daemon body; also usable at shutdown).
+  sim::Task<void> FlushAll();
+
+  // Drop every cached block of the file (including dirty ones — callers
+  // must flush first if the data matters).
+  void InvalidateFile(int mount, uint64_t fileid);
+
+  // Drop the file's dirty blocks without writing them (delete optimization).
+  // Returns the number of writes averted.
+  uint64_t CancelDirty(int mount, uint64_t fileid);
+
+  bool HasDirty(int mount, uint64_t fileid) const;
+  size_t DirtyBlockCount() const;
+  size_t size_blocks() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    int mount;
+    uint64_t fileid;
+    uint64_t block;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.fileid * 0x9E3779B97F4A7C15ULL + k.block;
+      h ^= static_cast<uint64_t>(k.mount) << 56;
+      h *= 0xBF58476D1CE4E5B9ULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct FileKey {
+    int mount;
+    uint64_t fileid;
+    friend bool operator==(const FileKey&, const FileKey&) = default;
+  };
+  struct FileKeyHash {
+    size_t operator()(const FileKey& k) const {
+      return std::hash<uint64_t>()(k.fileid * 1000003ULL + static_cast<uint64_t>(k.mount));
+    }
+  };
+  struct Entry {
+    std::vector<uint8_t> data;  // bytes known for this block (<= kBlockSize)
+    bool dirty = false;
+    sim::Time dirty_since = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  Entry* Find(const Key& key);
+  void Touch(Entry& entry, const Key& key);
+  Entry& InsertEntry(const Key& key, std::vector<uint8_t> data, bool dirty);
+  void EraseEntry(const Key& key);
+  void MarkDirty(const Key& key, Entry& entry);
+  void MarkClean(const Key& key, Entry& entry);
+  sim::Task<void> EvictIfNeeded();
+  sim::Task<void> AsyncStore(Key key, std::vector<uint8_t> data);
+  sim::Task<void> SyncDaemon();
+  // In-flight store registration must be synchronous with the decision to
+  // write a block back, or a concurrent fetch could read stale backing data.
+  void RegisterStore(const Key& key);
+  void FinishStore(const Key& key);
+  sim::Task<void> PerformStore(Key key, std::vector<uint8_t> data);
+  sim::Task<void> StoreBlock(const Key& key, std::vector<uint8_t> data);
+  sim::Task<base::Result<void>> FetchInto(const Key& key, uint64_t file_size);
+  sim::Mutex& FileGate(const FileKey& fk);
+
+  sim::Simulator& simulator_;
+  BufferCacheParams params_;
+  std::vector<Backing> mounts_;
+  std::unordered_map<FileKey, std::unique_ptr<sim::Mutex>, FileKeyHash> file_gates_;
+  sim::Semaphore flush_behind_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  std::unordered_map<FileKey, std::set<uint64_t>, FileKeyHash> dirty_blocks_;
+  // Blocks whose write-back is in flight: a fetch of the same block must
+  // wait, or it would read stale backing data (evicted-dirty-block race).
+  std::unordered_map<Key, sim::Promise<bool>, KeyHash> in_flight_stores_;
+  // Files with write-backs in flight: they still count as dirty (their data
+  // has not reached the backing store yet).
+  std::unordered_map<FileKey, int, FileKeyHash> flushing_files_;
+  CacheStats stats_;
+};
+
+}  // namespace cache
+
+#endif  // SRC_CACHE_BUFFER_CACHE_H_

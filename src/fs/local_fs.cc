@@ -1,0 +1,375 @@
+#include "src/fs/local_fs.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace fs {
+
+LocalFs::LocalFs(sim::Simulator& simulator, disk::Disk& disk, LocalFsParams params)
+    : simulator_(simulator), disk_(disk), params_(params) {
+  Inode& root = AllocInode(proto::FileType::kDirectory);
+  root_ = HandleFor(root);
+}
+
+LocalFs::Inode& LocalFs::AllocInode(proto::FileType type) {
+  uint64_t id = next_ino_++;
+  Inode inode;
+  inode.id = id;
+  inode.type = type;
+  inode.mtime = simulator_.Now();
+  inode.ctime = simulator_.Now();
+  auto [it, inserted] = inodes_.emplace(id, std::move(inode));
+  CHECK(inserted);
+  return it->second;
+}
+
+void LocalFs::DestroyInode(uint64_t id) {
+  CacheEvictFile(id);
+  inodes_.erase(id);
+}
+
+proto::FileHandle LocalFs::HandleFor(const Inode& inode) const {
+  return proto::FileHandle{params_.fsid, inode.id, inode.gen};
+}
+
+proto::Attr LocalFs::AttrFor(const Inode& inode) const {
+  proto::Attr attr;
+  attr.type = inode.type;
+  attr.size = inode.type == proto::FileType::kRegular ? inode.data.size() : inode.entries.size();
+  attr.nlink = inode.nlink;
+  attr.mtime = inode.mtime;
+  attr.ctime = inode.ctime;
+  attr.fileid = inode.id;
+  return attr;
+}
+
+base::Result<LocalFs::Inode*> LocalFs::Resolve(proto::FileHandle fh) {
+  if (fh.fsid != params_.fsid) {
+    return base::ErrStale();
+  }
+  auto it = inodes_.find(fh.fileid);
+  if (it == inodes_.end() || it->second.gen != fh.gen) {
+    return base::ErrStale();
+  }
+  return &it->second;
+}
+
+base::Result<LocalFs::Inode*> LocalFs::ResolveDir(proto::FileHandle fh) {
+  ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  if (inode->type != proto::FileType::kDirectory) {
+    return base::ErrNotDir();
+  }
+  return inode;
+}
+
+sim::Task<void> LocalFs::MetadataWrite() {
+  if (params_.sync_metadata) {
+    co_await disk_.Write(kBlockSize);
+  }
+}
+
+// --- Server block cache (timing only) ---------------------------------------
+
+bool LocalFs::CacheHit(uint64_t fileid, uint64_t block) {
+  auto it = cache_.find(CacheKey{fileid, block});
+  if (it == cache_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void LocalFs::CacheInsert(uint64_t fileid, uint64_t block) {
+  CacheKey key{fileid, block};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  cache_[key] = lru_.begin();
+  while (cache_.size() > params_.cache_blocks) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void LocalFs::CacheEvictFile(uint64_t fileid) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first == fileid) {
+      cache_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- Namespace ---------------------------------------------------------------
+
+sim::Task<base::Result<proto::LookupRep>> LocalFs::Lookup(proto::FileHandle dir,
+                                                          const std::string& name) {
+  CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
+  auto it = parent->entries.find(name);
+  if (it == parent->entries.end()) {
+    co_return base::ErrNoEnt();
+  }
+  auto child = inodes_.find(it->second);
+  CHECK(child != inodes_.end());
+  proto::LookupRep rep;
+  rep.fh = HandleFor(child->second);
+  rep.attr = AttrFor(child->second);
+  co_return rep;
+}
+
+sim::Task<base::Result<proto::CreateRep>> LocalFs::Create(proto::FileHandle dir,
+                                                          const std::string& name,
+                                                          bool exclusive) {
+  CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
+  if (name.empty() || name == "." || name == "..") {
+    co_return base::ErrInval();
+  }
+  auto it = parent->entries.find(name);
+  if (it != parent->entries.end()) {
+    if (exclusive) {
+      co_return base::ErrExist();
+    }
+    Inode& existing = inodes_.at(it->second);
+    if (existing.type == proto::FileType::kDirectory) {
+      co_return base::ErrIsDir();
+    }
+    proto::CreateRep rep;
+    rep.fh = HandleFor(existing);
+    rep.attr = AttrFor(existing);
+    co_return rep;
+  }
+  Inode& child = AllocInode(proto::FileType::kRegular);
+  parent->entries[name] = child.id;
+  parent->mtime = simulator_.Now();
+  co_await MetadataWrite();
+  proto::CreateRep rep;
+  rep.fh = HandleFor(child);
+  rep.attr = AttrFor(child);
+  co_return rep;
+}
+
+sim::Task<base::Result<proto::CreateRep>> LocalFs::Mkdir(proto::FileHandle dir,
+                                                         const std::string& name) {
+  CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
+  if (name.empty() || parent->entries.contains(name)) {
+    co_return parent->entries.contains(name) ? base::ErrExist() : base::ErrInval();
+  }
+  Inode& child = AllocInode(proto::FileType::kDirectory);
+  child.nlink = 2;
+  parent->entries[name] = child.id;
+  parent->mtime = simulator_.Now();
+  co_await MetadataWrite();
+  proto::CreateRep rep;
+  rep.fh = HandleFor(child);
+  rep.attr = AttrFor(child);
+  co_return rep;
+}
+
+sim::Task<base::Result<void>> LocalFs::Remove(proto::FileHandle dir, const std::string& name) {
+  CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
+  auto it = parent->entries.find(name);
+  if (it == parent->entries.end()) {
+    co_return base::ErrNoEnt();
+  }
+  Inode& victim = inodes_.at(it->second);
+  if (victim.type == proto::FileType::kDirectory) {
+    co_return base::ErrIsDir();
+  }
+  parent->entries.erase(it);
+  parent->mtime = simulator_.Now();
+  DestroyInode(victim.id);
+  co_await MetadataWrite();
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> LocalFs::Rmdir(proto::FileHandle dir, const std::string& name) {
+  CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
+  auto it = parent->entries.find(name);
+  if (it == parent->entries.end()) {
+    co_return base::ErrNoEnt();
+  }
+  Inode& victim = inodes_.at(it->second);
+  if (victim.type != proto::FileType::kDirectory) {
+    co_return base::ErrNotDir();
+  }
+  if (!victim.entries.empty()) {
+    co_return base::ErrNotEmpty();
+  }
+  parent->entries.erase(it);
+  parent->mtime = simulator_.Now();
+  DestroyInode(victim.id);
+  co_await MetadataWrite();
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> LocalFs::Rename(proto::FileHandle from_dir,
+                                              const std::string& from_name,
+                                              proto::FileHandle to_dir,
+                                              const std::string& to_name) {
+  CO_ASSIGN_OR_RETURN(Inode * src, ResolveDir(from_dir));
+  CO_ASSIGN_OR_RETURN(Inode * dst, ResolveDir(to_dir));
+  auto it = src->entries.find(from_name);
+  if (it == src->entries.end()) {
+    co_return base::ErrNoEnt();
+  }
+  uint64_t moving = it->second;
+  auto existing = dst->entries.find(to_name);
+  if (existing != dst->entries.end() && existing->second != moving) {
+    Inode& victim = inodes_.at(existing->second);
+    if (victim.type == proto::FileType::kDirectory) {
+      if (!victim.entries.empty()) {
+        co_return base::ErrNotEmpty();
+      }
+    }
+    DestroyInode(victim.id);
+  }
+  src->entries.erase(it);
+  dst->entries[to_name] = moving;
+  src->mtime = simulator_.Now();
+  dst->mtime = simulator_.Now();
+  co_await MetadataWrite();
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<proto::ReadDirRep>> LocalFs::ReadDir(proto::FileHandle dir, uint64_t cookie,
+                                                            uint32_t count) {
+  CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
+  proto::ReadDirRep rep;
+  uint64_t index = 0;
+  for (const auto& [name, ino] : parent->entries) {
+    if (index++ < cookie) {
+      continue;
+    }
+    if (rep.entries.size() >= count) {
+      rep.eof = false;
+      co_return rep;
+    }
+    proto::DirEntry entry;
+    entry.fileid = ino;
+    entry.name = name;
+    entry.cookie = index;
+    rep.entries.push_back(std::move(entry));
+  }
+  rep.eof = true;
+  co_return rep;
+}
+
+// --- Attributes --------------------------------------------------------------
+
+base::Result<proto::Attr> LocalFs::GetAttr(proto::FileHandle fh) {
+  ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  return AttrFor(*inode);
+}
+
+sim::Task<base::Result<proto::Attr>> LocalFs::SetAttr(proto::FileHandle fh,
+                                                      const proto::SetAttrReq& req) {
+  CO_ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  if (req.size.has_value()) {
+    if (inode->type != proto::FileType::kRegular) {
+      co_return base::ErrIsDir();
+    }
+    inode->data.resize(*req.size);
+    inode->mtime = simulator_.Now();
+    CacheEvictFile(inode->id);
+    co_await MetadataWrite();
+  }
+  if (req.mtime.has_value()) {
+    inode->mtime = *req.mtime;
+  }
+  inode->ctime = simulator_.Now();
+  co_return AttrFor(*inode);
+}
+
+// --- Data --------------------------------------------------------------------
+
+sim::Task<base::Result<proto::ReadRep>> LocalFs::Read(proto::FileHandle fh, uint64_t offset,
+                                                      uint32_t count) {
+  CO_ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  if (inode->type != proto::FileType::kRegular) {
+    co_return base::ErrIsDir();
+  }
+  proto::ReadRep rep;
+  uint64_t size = inode->data.size();
+  uint64_t end = std::min<uint64_t>(size, offset + count);
+  // Charge disk time for blocks missing from the server cache.
+  if (offset < end) {
+    uint64_t first_block = offset / kBlockSize;
+    uint64_t last_block = (end - 1) / kBlockSize;
+    for (uint64_t b = first_block; b <= last_block; ++b) {
+      if (!CacheHit(inode->id, b)) {
+        co_await disk_.ReadBlock(inode->id, b, kBlockSize);
+        CacheInsert(inode->id, b);
+      }
+    }
+    // The inode may have been deleted while we were waiting on the disk.
+    CO_ASSIGN_OR_RETURN(inode, Resolve(fh));
+    size = inode->data.size();
+    end = std::min<uint64_t>(size, offset + count);
+  }
+  if (offset < end) {
+    rep.data.assign(inode->data.begin() + static_cast<int64_t>(offset),
+                    inode->data.begin() + static_cast<int64_t>(end));
+  }
+  rep.eof = offset + rep.data.size() >= size;
+  rep.attr = AttrFor(*inode);
+  co_return rep;
+}
+
+sim::Task<base::Result<proto::Attr>> LocalFs::Write(proto::FileHandle fh, uint64_t offset,
+                                                    const std::vector<uint8_t>& data,
+                                                    WriteMode mode) {
+  CO_ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  if (inode->type != proto::FileType::kRegular) {
+    co_return base::ErrIsDir();
+  }
+  uint64_t fileid = inode->id;
+  if (mode != WriteMode::kMemory && !data.empty()) {
+    uint64_t first_block = offset / kBlockSize;
+    uint64_t last_block = (offset + data.size() - 1) / kBlockSize;
+    for (uint64_t b = first_block; b <= last_block; ++b) {
+      co_await disk_.WriteBlock(fileid, b, kBlockSize);
+      CacheInsert(fileid, b);
+    }
+    if (mode == WriteMode::kSync) {
+      // Stable-storage contract: the inode update goes out with the data.
+      co_await disk_.Write(512);
+    }
+    // Re-resolve: the file may have been removed while the disk was busy.
+    CO_ASSIGN_OR_RETURN(inode, Resolve(fh));
+  }
+  if (offset + data.size() > inode->data.size()) {
+    inode->data.resize(offset + data.size());
+  }
+  std::copy(data.begin(), data.end(), inode->data.begin() + static_cast<int64_t>(offset));
+  inode->mtime = simulator_.Now();
+  if (mode == WriteMode::kMemory) {
+    // Data arrived in memory only; blocks are resident in the cache for
+    // subsequent reads.
+    uint64_t first_block = offset / kBlockSize;
+    uint64_t last_block = data.empty() ? first_block : (offset + data.size() - 1) / kBlockSize;
+    for (uint64_t b = first_block; b <= last_block; ++b) {
+      CacheInsert(inode->id, b);
+    }
+  }
+  co_return AttrFor(*inode);
+}
+
+// --- SNFS version support ------------------------------------------------------
+
+base::Result<uint64_t> LocalFs::Version(proto::FileHandle fh) {
+  ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  return inode->version;
+}
+
+base::Result<uint64_t> LocalFs::BumpVersion(proto::FileHandle fh) {
+  ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
+  return ++inode->version;
+}
+
+}  // namespace fs

@@ -1,0 +1,54 @@
+// Per-operation RPC counters, the currency of the paper's Tables 5-2, 5-4
+// and 5-6 ("RPC calls for ... benchmark") and of the call-rate curves in
+// Figures 5-1/5-2.
+#ifndef SRC_METRICS_OP_COUNTERS_H_
+#define SRC_METRICS_OP_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/proto/messages.h"
+
+namespace metrics {
+
+class OpCounters {
+ public:
+  void Add(proto::OpKind kind, uint64_t n = 1) { counts_[Index(kind)] += n; }
+
+  uint64_t Get(proto::OpKind kind) const { return counts_[Index(kind)]; }
+
+  uint64_t Total() const {
+    uint64_t sum = 0;
+    for (uint64_t c : counts_) {
+      sum += c;
+    }
+    return sum;
+  }
+
+  // "Data transfer operations" in the paper's Table 5-2 analysis.
+  uint64_t DataTransfer() const {
+    return Get(proto::OpKind::kRead) + Get(proto::OpKind::kWrite);
+  }
+
+  // Everything that is neither a read nor a write (Table 5-6's "Others").
+  uint64_t Others() const { return Total() - DataTransfer(); }
+
+  OpCounters Diff(const OpCounters& earlier) const {
+    OpCounters d;
+    for (int i = 0; i < proto::kNumOpKinds; ++i) {
+      d.counts_[i] = counts_[i] - earlier.counts_[i];
+    }
+    return d;
+  }
+
+  void Reset() { counts_.fill(0); }
+
+ private:
+  static constexpr size_t Index(proto::OpKind kind) { return static_cast<size_t>(kind); }
+
+  std::array<uint64_t, proto::kNumOpKinds> counts_{};
+};
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_OP_COUNTERS_H_

@@ -1,0 +1,36 @@
+// Aligned text-table output for benchmark binaries. Each bench prints the
+// paper's table layout with our measured values (and, where the paper's
+// numbers are legible, the paper's values side by side).
+#ifndef SRC_METRICS_TABLE_H_
+#define SRC_METRICS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(uint64_t v);
+  static std::string Pct(double fraction, int precision = 1);  // 0.17 -> "17.0%"
+  static std::string Seconds(double v);                        // "127.3 s"
+
+  // Render with a header rule and column padding.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_TABLE_H_

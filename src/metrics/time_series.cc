@@ -1,0 +1,38 @@
+#include "src/metrics/time_series.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace metrics {
+
+double TimeSeries::Correlation(const TimeSeries& a, const TimeSeries& b) {
+  size_t n = a.samples_.size() < b.samples_.size() ? a.samples_.size() : b.samples_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_a = 0;
+  double mean_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a.samples_[i].value;
+    mean_b += b.samples_[i].value;
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0;
+  double var_a = 0;
+  double var_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a.samples_[i].value - mean_a;
+    double db = b.samples_[i].value - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0 || var_b == 0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace metrics

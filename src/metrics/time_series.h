@@ -1,0 +1,56 @@
+// Time-series collection for the server-load figures (5-1/5-2): a sampler
+// daemon reads cumulative quantities (CPU busy time, RPC counts) every
+// window and stores per-window rates.
+#ifndef SRC_METRICS_TIME_SERIES_H_
+#define SRC_METRICS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace metrics {
+
+struct Sample {
+  sim::Time at = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void Push(sim::Time at, double value) { samples_.push_back({at, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  double Max() const {
+    double m = 0;
+    for (const Sample& s : samples_) {
+      m = s.value > m ? s.value : m;
+    }
+    return m;
+  }
+
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (const Sample& s : samples_) {
+      sum += s.value;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // Pearson correlation against another series sampled at the same times.
+  // The paper observes server load is strongly correlated with aggregate
+  // call rate but not with read/write rate.
+  static double Correlation(const TimeSeries& a, const TimeSeries& b);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_TIME_SERIES_H_

@@ -1,0 +1,68 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace net {
+
+Address Network::AttachHost() {
+  Host host;
+  host.rx = std::make_unique<sim::Channel<Packet>>(simulator_);
+  hosts_.push_back(std::move(host));
+  return Address{static_cast<int>(hosts_.size()) - 1};
+}
+
+sim::Channel<Packet>& Network::Rx(Address address) {
+  CHECK_GE(address.host, 0);
+  CHECK_LT(static_cast<size_t>(address.host), hosts_.size());
+  return *hosts_[address.host].rx;
+}
+
+void Network::Send(Packet packet) {
+  CHECK_GE(packet.src.host, 0);
+  CHECK_GE(packet.dst.host, 0);
+  CHECK_LT(static_cast<size_t>(packet.dst.host), hosts_.size());
+  ++packets_sent_;
+  uint32_t bytes = proto::WireSize(packet.envelope);
+  bytes_sent_ += bytes;
+
+  if (!hosts_[packet.src.host].up || !hosts_[packet.dst.host].up) {
+    ++packets_dropped_;
+    return;
+  }
+  if (params_.loss_rate > 0 && rng_.Bernoulli(params_.loss_rate)) {
+    ++packets_dropped_;
+    LOG_DEBUG("net", "dropped packet %d->%d (%u bytes)", packet.src.host, packet.dst.host, bytes);
+    return;
+  }
+
+  sim::Duration serialization =
+      static_cast<sim::Duration>(static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps * 1e6);
+  sim::Duration delay = params_.latency + serialization;
+  int dst = packet.dst.host;
+  simulator_.Schedule(delay, [this, dst, p = std::move(packet)]() mutable {
+    // Re-check liveness at delivery time: the receiver may have crashed
+    // while the packet was in flight.
+    if (!hosts_[dst].up) {
+      ++packets_dropped_;
+      return;
+    }
+    hosts_[dst].rx->Send(std::move(p));
+  });
+}
+
+void Network::SetHostUp(Address address, bool up) {
+  CHECK_GE(address.host, 0);
+  CHECK_LT(static_cast<size_t>(address.host), hosts_.size());
+  hosts_[address.host].up = up;
+}
+
+bool Network::IsHostUp(Address address) const {
+  CHECK_GE(address.host, 0);
+  CHECK_LT(static_cast<size_t>(address.host), hosts_.size());
+  return hosts_[address.host].up;
+}
+
+}  // namespace net

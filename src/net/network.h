@@ -1,0 +1,85 @@
+// Simulated datagram network: hosts attach one endpoint each; packets incur
+// a fixed propagation latency plus a serialization delay proportional to
+// size, and may be dropped (probabilistically, or because a host is down —
+// used by the crash-recovery experiments).
+//
+// The model is an unswitched 10 Mbit/s Ethernet by default (the paper's
+// testbed); shared-medium contention is not modeled because the benchmark
+// load never approaches saturation.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/proto/messages.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace net {
+
+// Host number on the simulated network; assigned by Network::AttachHost.
+struct Address {
+  int host = -1;
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+struct Packet {
+  Address src;
+  Address dst;
+  proto::Envelope envelope;
+};
+
+struct NetworkParams {
+  sim::Duration latency = sim::Usec(200);      // propagation + interface
+  double bandwidth_bps = 10e6;                 // 10 Mbit/s Ethernet
+  double loss_rate = 0.0;                      // per-packet drop probability
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, NetworkParams params, uint64_t seed = 1)
+      : simulator_(simulator), params_(params), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Attach a new host; returns its address. The host reads packets from the
+  // returned channel (owned by the Network).
+  Address AttachHost();
+
+  sim::Channel<Packet>& Rx(Address address);
+
+  // Inject a packet. Delivery is scheduled after latency + size/bandwidth,
+  // unless the packet is lost or either end is down.
+  void Send(Packet packet);
+
+  // Crash simulation: a down host neither sends nor receives.
+  void SetHostUp(Address address, bool up);
+  bool IsHostUp(Address address) const;
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Host {
+    std::unique_ptr<sim::Channel<Packet>> rx;
+    bool up = true;
+  };
+
+  sim::Simulator& simulator_;
+  NetworkParams params_;
+  sim::Rng rng_;
+  std::vector<Host> hosts_;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_NETWORK_H_

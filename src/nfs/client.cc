@@ -1,0 +1,443 @@
+#include "src/nfs/client.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace nfs {
+
+using cache::kBlockSize;
+
+NfsClient::NfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address server,
+                     proto::FileHandle root_fh, cache::BufferCache& cache, NfsClientParams params)
+    : simulator_(simulator),
+      peer_(peer),
+      server_(server),
+      root_fh_(root_fh),
+      cache_(cache),
+      params_(params),
+      biods_(simulator, params.num_biods) {
+  cache::Backing backing;
+  backing.fetch = [this](uint64_t fileid, uint64_t block)
+      -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    auto it = nodes_.find(fileid);
+    if (it == nodes_.end()) {
+      co_return base::ErrStale();
+    }
+    NodeRef node = it->second;
+    proto::ReadReq req;
+    req.fh = node->fh;
+    req.offset = block * kBlockSize;
+    req.count = kBlockSize;
+    auto rep = rpc::Expect<proto::ReadRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    UpdateAttrs(*node, rep->attr);
+    if (node->cached_data_mtime < 0) {
+      node->cached_data_mtime = rep->attr.mtime;
+    }
+    co_return std::move(rep->data);
+  };
+  // NFS never write-backs through the cache (the client writes through via
+  // biods); the store hook only exists for interface completeness.
+  backing.store = [this](uint64_t fileid, uint64_t block,
+                         std::vector<uint8_t> data) -> sim::Task<base::Result<void>> {
+    auto it = nodes_.find(fileid);
+    if (it == nodes_.end()) {
+      co_return base::ErrStale();
+    }
+    proto::WriteReq req;
+    req.fh = it->second->fh;
+    req.offset = block * kBlockSize;
+    req.data = std::move(data);
+    auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    co_return base::OkStatus();
+  };
+  mount_id_ = cache_.RegisterMount(std::move(backing));
+}
+
+NfsClient::NodeRef NfsClient::AsNode(const vfs::GnodeRef& node) {
+  return std::static_pointer_cast<NfsNode>(node);
+}
+
+NfsClient::NodeRef NfsClient::Intern(const proto::FileHandle& fh, const proto::Attr& attr) {
+  auto it = nodes_.find(fh.fileid);
+  if (it != nodes_.end() && it->second->fh == fh) {
+    UpdateAttrs(*it->second, attr);
+    return it->second;
+  }
+  auto node = std::make_shared<NfsNode>();
+  node->fh = fh;
+  node->attr = attr;
+  node->attr_fetched = simulator_.Now();
+  node->attr_timeout = params_.attr_timeout_min;
+  nodes_[fh.fileid] = node;
+  return node;
+}
+
+void NfsClient::UpdateAttrs(NfsNode& node, const proto::Attr& attr) {
+  // Our own in-flight writes keep the local size ahead of the server's.
+  uint64_t local_size = node.pending_writes > 0 || !node.partial.empty()
+                            ? std::max(node.attr.size, attr.size)
+                            : attr.size;
+  node.attr = attr;
+  node.attr.size = local_size;
+  node.attr_fetched = simulator_.Now();
+}
+
+void NfsClient::AdaptTimeout(NfsNode& node, bool changed) {
+  if (changed) {
+    node.attr_timeout = params_.attr_timeout_min;
+  } else {
+    node.attr_timeout = std::min<sim::Duration>(node.attr_timeout * 2, params_.attr_timeout_max);
+  }
+}
+
+void NfsClient::InvalidateData(NfsNode& node) {
+  cache_.InvalidateFile(mount_id_, node.fh.fileid);
+  node.cached_data_mtime = -1;
+  ++cache_invalidations_;
+}
+
+sim::Task<base::Result<void>> NfsClient::Probe(NodeRef node) {
+  ++attr_probes_;
+  proto::GetAttrReq req;
+  req.fh = node->fh;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  bool changed =
+      node->cached_data_mtime >= 0 && rep->attr.mtime != node->cached_data_mtime;
+  if (changed) {
+    InvalidateData(*node);
+    node->cached_data_mtime = rep->attr.mtime;
+  } else if (node->cached_data_mtime < 0) {
+    node->cached_data_mtime = rep->attr.mtime;
+  }
+  AdaptTimeout(*node, changed);
+  UpdateAttrs(*node, rep->attr);
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NfsClient::ProbeIfStale(NodeRef node) {
+  if (node->attr_fetched >= 0 &&
+      simulator_.Now() - node->attr_fetched < node->attr_timeout) {
+    co_return base::OkStatus();
+  }
+  co_return co_await Probe(node);
+}
+
+// --- Write-behind ------------------------------------------------------------
+
+void NfsClient::SpawnAsyncWrite(NodeRef node, uint64_t offset, std::vector<uint8_t> data) {
+  ++node->pending_writes;
+  simulator_.Spawn(AsyncWriteBody(std::move(node), offset, std::move(data)));
+}
+
+sim::Task<void> NfsClient::AsyncWriteBody(NodeRef node, uint64_t offset,
+                                          std::vector<uint8_t> data) {
+  co_await biods_.Acquire();
+  proto::WriteReq req;
+  req.fh = node->fh;
+  req.offset = offset;
+  req.data = std::move(data);
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  biods_.Release();
+  if (rep.ok()) {
+    // The write bumped the server mtime; adopt it so our own writes don't
+    // look like another client's modifications at the next probe.
+    node->cached_data_mtime = std::max(node->cached_data_mtime, rep->attr.mtime);
+    UpdateAttrs(*node, rep->attr);
+  } else if (node->write_error.ok()) {
+    node->write_error = rep.status();
+  }
+  if (--node->pending_writes == 0) {
+    for (std::coroutine_handle<> h : node->write_waiters) {
+      simulator_.Ready(h);
+    }
+    node->write_waiters.clear();
+  }
+}
+
+sim::Task<base::Result<void>> NfsClient::FlushPartials(NodeRef node) {
+  while (!node->partial.empty()) {
+    auto it = node->partial.begin();
+    uint64_t block = it->first;
+    std::vector<uint8_t> data = std::move(it->second);
+    node->partial.erase(it);
+    SpawnAsyncWrite(node, block * kBlockSize, std::move(data));
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<void> NfsClient::DrainWrites(NodeRef node) {
+  co_await WriteDrainAwaiter{*node};
+}
+
+// --- FileSystem interface ------------------------------------------------------
+
+sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Root() {
+  auto it = nodes_.find(root_fh_.fileid);
+  if (it != nodes_.end()) {
+    co_return vfs::GnodeRef(it->second);
+  }
+  proto::GetAttrReq req;
+  req.fh = root_fh_;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(root_fh_, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Lookup(vfs::GnodeRef dir,
+                                                         const std::string& name) {
+  proto::LookupReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::LookupRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Create(vfs::GnodeRef dir,
+                                                         const std::string& name,
+                                                         bool exclusive) {
+  proto::CreateReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  req.exclusive = exclusive;
+  auto rep = rpc::Expect<proto::CreateRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  NodeRef node = Intern(rep->fh, rep->attr);
+  node->cached_data_mtime = rep->attr.mtime;  // fresh file: we know its (empty) content
+  co_return vfs::GnodeRef(node);
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Mkdir(vfs::GnodeRef dir,
+                                                        const std::string& name) {
+  proto::MkdirReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::CreateRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<void>> NfsClient::Open(vfs::GnodeRef gnode, bool write) {
+  NodeRef node = AsNode(gnode);
+  // "The check is also made each time the client opens a file."
+  CO_RETURN_IF_ERROR(co_await Probe(node));
+  if (write) {
+    ++node->open_writes;
+  } else {
+    ++node->open_reads;
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NfsClient::Close(vfs::GnodeRef gnode, bool write) {
+  NodeRef node = AsNode(gnode);
+  // Push out delayed partial blocks, then synchronously finish all pending
+  // write-throughs.
+  CO_RETURN_IF_ERROR(co_await FlushPartials(node));
+  co_await DrainWrites(node);
+  if (write) {
+    CHECK_GT(node->open_writes, 0u);
+    --node->open_writes;
+  } else {
+    CHECK_GT(node->open_reads, 0u);
+    --node->open_reads;
+  }
+  if (params_.invalidate_on_close && node->open_writes + node->open_reads == 0) {
+    InvalidateData(*node);
+  }
+  base::Status err = node->write_error;
+  node->write_error = base::OkStatus();
+  co_return base::Result<void>(err);
+}
+
+sim::Task<base::Result<std::vector<uint8_t>>> NfsClient::Read(vfs::GnodeRef gnode,
+                                                              uint64_t offset, uint32_t count) {
+  NodeRef node = AsNode(gnode);
+  // Periodic consistency check while the file is in use.
+  CO_RETURN_IF_ERROR(co_await ProbeIfStale(node));
+  co_return co_await cache_.Read(mount_id_, node->fh.fileid, offset, count, node->attr.size,
+                                 /*read_ahead=*/true);
+}
+
+sim::Task<base::Result<void>> NfsClient::Write(vfs::GnodeRef gnode, uint64_t offset,
+                                               const std::vector<uint8_t>& data) {
+  NodeRef node = AsNode(gnode);
+  if (data.empty()) {
+    co_return base::OkStatus();
+  }
+  uint64_t end = offset + data.size();
+  uint64_t first_block = offset / kBlockSize;
+  uint64_t last_block = (end - 1) / kBlockSize;
+  for (uint64_t b = first_block; b <= last_block; ++b) {
+    uint64_t block_start = b * kBlockSize;
+    uint64_t seg_from = std::max<uint64_t>(offset, block_start);
+    uint64_t seg_to = std::min<uint64_t>(end, block_start + kBlockSize);
+    std::vector<uint8_t> segment(data.begin() + static_cast<int64_t>(seg_from - offset),
+                                 data.begin() + static_cast<int64_t>(seg_to - offset));
+
+    // Merge with any delayed partial buffer for this block.
+    auto pit = node->partial.find(b);
+    bool have_partial = pit != node->partial.end();
+    uint64_t partial_len = have_partial ? pit->second.size() : 0;
+    bool contiguous = have_partial && block_start + partial_len == seg_from;
+
+    if (have_partial && !contiguous) {
+      // Non-sequential write into a block with a pending partial: flush the
+      // old partial first to keep things simple (rare in practice).
+      std::vector<uint8_t> old = std::move(pit->second);
+      node->partial.erase(pit);
+      SpawnAsyncWrite(node, b * kBlockSize, std::move(old));
+      have_partial = false;
+    }
+
+    bool reaches_block_end = seg_to == block_start + kBlockSize;
+    if (params_.delay_partial_writes && !reaches_block_end) {
+      // Delay: stash the (possibly extended) partial buffer.
+      if (contiguous && have_partial) {
+        auto& buf = node->partial[b];
+        buf.insert(buf.end(), segment.begin(), segment.end());
+      } else if (seg_from == block_start) {
+        node->partial[b] = segment;
+      } else {
+        // Partial not starting at block head and no buffered prefix: write
+        // through immediately (cannot buffer a hole).
+        SpawnAsyncWrite(node, seg_from, segment);
+      }
+    } else {
+      if (contiguous && have_partial) {
+        std::vector<uint8_t> buf = std::move(node->partial[b]);
+        node->partial.erase(b);
+        buf.insert(buf.end(), segment.begin(), segment.end());
+        SpawnAsyncWrite(node, block_start, std::move(buf));
+      } else {
+        SpawnAsyncWrite(node, seg_from, segment);
+      }
+    }
+    // Either way the client cache holds the new data for its own reads.
+    cache_.InsertClean(mount_id_, node->fh.fileid, seg_from, segment);
+  }
+  node->attr.size = std::max(node->attr.size, end);
+  node->attr.mtime = simulator_.Now();
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<proto::Attr>> NfsClient::GetAttr(vfs::GnodeRef gnode) {
+  NodeRef node = AsNode(gnode);
+  CO_RETURN_IF_ERROR(co_await ProbeIfStale(node));
+  co_return node->attr;
+}
+
+sim::Task<base::Result<void>> NfsClient::Truncate(vfs::GnodeRef gnode, uint64_t size) {
+  NodeRef node = AsNode(gnode);
+  node->partial.clear();
+  co_await DrainWrites(node);
+  proto::SetAttrReq req;
+  req.fh = node->fh;
+  req.size = size;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  InvalidateData(*node);
+  node->cached_data_mtime = rep->attr.mtime;
+  UpdateAttrs(*node, rep->attr);
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NfsClient::Remove(vfs::GnodeRef dir, const std::string& name,
+                                                vfs::GnodeRef target) {
+  NodeRef victim = AsNode(target);
+  // NFS cannot cancel anything: data was written through already. Just make
+  // sure nothing is still in flight, then drop the cached copies.
+  victim->partial.clear();
+  co_await DrainWrites(victim);
+  proto::RemoveReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  cache_.InvalidateFile(mount_id_, victim->fh.fileid);
+  nodes_.erase(victim->fh.fileid);
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NfsClient::Rmdir(vfs::GnodeRef dir, const std::string& name) {
+  proto::RmdirReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NfsClient::Rename(vfs::GnodeRef from_dir,
+                                                const std::string& from_name,
+                                                vfs::GnodeRef to_dir,
+                                                const std::string& to_name) {
+  proto::RenameReq req;
+  req.from_dir = from_dir->fh;
+  req.from_name = from_name;
+  req.to_dir = to_dir->fh;
+  req.to_name = to_name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<std::vector<proto::DirEntry>>> NfsClient::ReadDir(vfs::GnodeRef dir) {
+  std::vector<proto::DirEntry> all;
+  uint64_t cookie = 0;
+  while (true) {
+    proto::ReadDirReq req;
+    req.dir = dir->fh;
+    req.cookie = cookie;
+    req.count = 64;
+    auto rep = rpc::Expect<proto::ReadDirRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    for (auto& e : rep->entries) {
+      cookie = e.cookie;
+      all.push_back(std::move(e));
+    }
+    if (rep->eof) {
+      break;
+    }
+  }
+  co_return all;
+}
+
+sim::Task<base::Result<void>> NfsClient::Fsync(vfs::GnodeRef gnode) {
+  NodeRef node = AsNode(gnode);
+  CO_RETURN_IF_ERROR(co_await FlushPartials(node));
+  co_await DrainWrites(node);
+  base::Status err = node->write_error;
+  node->write_error = base::OkStatus();
+  co_return base::Result<void>(err);
+}
+
+}  // namespace nfs

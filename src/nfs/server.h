@@ -1,0 +1,38 @@
+// The NFS server: stateless, translating each RPC into LocalFs operations.
+//
+// Per the stateless-server contract, every write RPC is synchronous with
+// the disk ("an NFS server is required to write data to stable storage
+// before returning from the remote procedure call"); the server retains no
+// per-client or per-open-file state, so crash recovery is "the server
+// simply restarts".
+#ifndef SRC_NFS_SERVER_H_
+#define SRC_NFS_SERVER_H_
+
+#include "src/fs/local_fs.h"
+#include "src/net/network.h"
+#include "src/proto/messages.h"
+#include "src/rpc/peer.h"
+#include "src/sim/task.h"
+
+namespace nfs {
+
+class NfsServer {
+ public:
+  // Installs itself as `peer`'s request handler.
+  NfsServer(fs::LocalFs& fs, rpc::Peer& peer);
+
+  NfsServer(const NfsServer&) = delete;
+  NfsServer& operator=(const NfsServer&) = delete;
+
+  proto::FileHandle root() const { return fs_.root(); }
+
+  sim::Task<proto::Reply> Handle(const proto::Request& request, net::Address from);
+
+ private:
+  fs::LocalFs& fs_;
+  rpc::Peer& peer_;
+};
+
+}  // namespace nfs
+
+#endif  // SRC_NFS_SERVER_H_

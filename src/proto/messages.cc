@@ -1,0 +1,147 @@
+#include "src/proto/messages.h"
+
+namespace proto {
+namespace {
+
+// RPC + UDP + IP + Ethernet framing overhead per message.
+constexpr uint32_t kHeaderBytes = 110;
+// File handle on the wire (NFS uses 32 bytes).
+constexpr uint32_t kFhBytes = 32;
+// Attribute record (NFS fattr is 68 bytes).
+constexpr uint32_t kAttrBytes = 68;
+
+struct RequestSize {
+  uint32_t operator()(const NullReq&) const { return 0; }
+  uint32_t operator()(const GetAttrReq&) const { return kFhBytes; }
+  uint32_t operator()(const SetAttrReq&) const { return kFhBytes + 24; }
+  uint32_t operator()(const LookupReq& r) const {
+    return kFhBytes + 4 + static_cast<uint32_t>(r.name.size());
+  }
+  uint32_t operator()(const ReadReq&) const { return kFhBytes + 12; }
+  uint32_t operator()(const WriteReq& r) const {
+    return kFhBytes + 12 + static_cast<uint32_t>(r.data.size());
+  }
+  uint32_t operator()(const CreateReq& r) const {
+    return kFhBytes + 4 + static_cast<uint32_t>(r.name.size()) + 16;
+  }
+  uint32_t operator()(const RemoveReq& r) const {
+    return kFhBytes + 4 + static_cast<uint32_t>(r.name.size());
+  }
+  uint32_t operator()(const RenameReq& r) const {
+    return 2 * kFhBytes + 8 + static_cast<uint32_t>(r.from_name.size() + r.to_name.size());
+  }
+  uint32_t operator()(const MkdirReq& r) const {
+    return kFhBytes + 4 + static_cast<uint32_t>(r.name.size());
+  }
+  uint32_t operator()(const RmdirReq& r) const {
+    return kFhBytes + 4 + static_cast<uint32_t>(r.name.size());
+  }
+  uint32_t operator()(const ReadDirReq&) const { return kFhBytes + 12; }
+  uint32_t operator()(const OpenReq&) const { return kFhBytes + 4; }
+  uint32_t operator()(const CloseReq&) const { return kFhBytes + 8; }
+  uint32_t operator()(const CallbackReq&) const { return kFhBytes + 12; }
+  uint32_t operator()(const PingReq&) const { return 8; }
+  uint32_t operator()(const ReopenReq&) const { return kFhBytes + 20; }
+};
+
+struct ReplySize {
+  uint32_t operator()(const std::monostate&) const { return 4; }
+  uint32_t operator()(const NullRep&) const { return 4; }
+  uint32_t operator()(const AttrRep&) const { return kAttrBytes; }
+  uint32_t operator()(const LookupRep&) const { return kFhBytes + kAttrBytes; }
+  uint32_t operator()(const ReadRep& r) const {
+    return kAttrBytes + 8 + static_cast<uint32_t>(r.data.size());
+  }
+  uint32_t operator()(const CreateRep&) const { return kFhBytes + kAttrBytes; }
+  uint32_t operator()(const ReadDirRep& r) const {
+    uint32_t n = 8;
+    for (const DirEntry& e : r.entries) {
+      n += 16 + static_cast<uint32_t>(e.name.size());
+    }
+    return n;
+  }
+  uint32_t operator()(const OpenRep&) const { return 20 + kAttrBytes; }
+  uint32_t operator()(const CloseRep&) const { return 4; }
+  uint32_t operator()(const CallbackRep&) const { return 4; }
+  uint32_t operator()(const PingRep&) const { return 12; }
+  uint32_t operator()(const ReopenRep&) const { return 12; }
+};
+
+}  // namespace
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNull:
+      return "null";
+    case OpKind::kGetAttr:
+      return "getattr";
+    case OpKind::kSetAttr:
+      return "setattr";
+    case OpKind::kLookup:
+      return "lookup";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kCreate:
+      return "create";
+    case OpKind::kRemove:
+      return "remove";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kMkdir:
+      return "mkdir";
+    case OpKind::kRmdir:
+      return "rmdir";
+    case OpKind::kReadDir:
+      return "readdir";
+    case OpKind::kOpen:
+      return "open";
+    case OpKind::kClose:
+      return "close";
+    case OpKind::kCallback:
+      return "callback";
+    case OpKind::kPing:
+      return "ping";
+    case OpKind::kReopen:
+      return "reopen";
+    case OpKind::kOpCount:
+      break;
+  }
+  return "unknown";
+}
+
+OpKind KindOf(const Request& request) {
+  struct Visitor {
+    OpKind operator()(const NullReq&) const { return OpKind::kNull; }
+    OpKind operator()(const GetAttrReq&) const { return OpKind::kGetAttr; }
+    OpKind operator()(const SetAttrReq&) const { return OpKind::kSetAttr; }
+    OpKind operator()(const LookupReq&) const { return OpKind::kLookup; }
+    OpKind operator()(const ReadReq&) const { return OpKind::kRead; }
+    OpKind operator()(const WriteReq&) const { return OpKind::kWrite; }
+    OpKind operator()(const CreateReq&) const { return OpKind::kCreate; }
+    OpKind operator()(const RemoveReq&) const { return OpKind::kRemove; }
+    OpKind operator()(const RenameReq&) const { return OpKind::kRename; }
+    OpKind operator()(const MkdirReq&) const { return OpKind::kMkdir; }
+    OpKind operator()(const RmdirReq&) const { return OpKind::kRmdir; }
+    OpKind operator()(const ReadDirReq&) const { return OpKind::kReadDir; }
+    OpKind operator()(const OpenReq&) const { return OpKind::kOpen; }
+    OpKind operator()(const CloseReq&) const { return OpKind::kClose; }
+    OpKind operator()(const CallbackReq&) const { return OpKind::kCallback; }
+    OpKind operator()(const PingReq&) const { return OpKind::kPing; }
+    OpKind operator()(const ReopenReq&) const { return OpKind::kReopen; }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+uint32_t WireSize(const Request& request) {
+  return kHeaderBytes + std::visit(RequestSize{}, request);
+}
+
+uint32_t WireSize(const Reply& reply) { return kHeaderBytes + std::visit(ReplySize{}, reply.body); }
+
+uint32_t WireSize(const Envelope& envelope) {
+  return envelope.is_reply ? WireSize(envelope.reply) : WireSize(envelope.request);
+}
+
+}  // namespace proto

@@ -1,0 +1,52 @@
+// Shared protocol data types: file handles and attributes.
+//
+// These mirror the NFS v2 notions the paper builds on: a FileHandle is an
+// opaque server-issued identifier (here: fs id + inode number + generation)
+// and Attr is the getattr record (type, size, mtime, ...). SNFS adds a file
+// version number used to validate client caches across opens (§3.1).
+#ifndef SRC_PROTO_TYPES_H_
+#define SRC_PROTO_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/time.h"
+
+namespace proto {
+
+struct FileHandle {
+  uint32_t fsid = 0;     // which exported file system
+  uint64_t fileid = 0;   // inode number
+  uint32_t gen = 0;      // inode generation (guards against reuse)
+
+  friend bool operator==(const FileHandle&, const FileHandle&) = default;
+};
+
+struct FileHandleHash {
+  size_t operator()(const FileHandle& fh) const {
+    uint64_t h = fh.fileid * 0x9E3779B97F4A7C15ULL;
+    h ^= (static_cast<uint64_t>(fh.fsid) << 32) | fh.gen;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
+};
+
+enum class FileType : uint8_t {
+  kRegular,
+  kDirectory,
+};
+
+struct Attr {
+  FileType type = FileType::kRegular;
+  uint64_t size = 0;
+  uint32_t nlink = 1;
+  sim::Time mtime = 0;   // data modification time
+  sim::Time ctime = 0;   // attribute change time
+  uint64_t fileid = 0;
+
+  friend bool operator==(const Attr&, const Attr&) = default;
+};
+
+}  // namespace proto
+
+#endif  // SRC_PROTO_TYPES_H_

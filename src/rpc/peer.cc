@@ -1,0 +1,195 @@
+#include "src/rpc/peer.h"
+
+#include "src/base/log.h"
+
+namespace rpc {
+
+Peer::Peer(sim::Simulator& simulator, net::Network& network, sim::Cpu& cpu, std::string name,
+           PeerOptions options)
+    : simulator_(simulator),
+      network_(network),
+      cpu_(cpu),
+      name_(std::move(name)),
+      options_(options) {
+  address_ = network_.AttachHost();
+  work_queue_ = std::make_unique<sim::Channel<Incoming>>(simulator_);
+}
+
+void Peer::Start() {
+  CHECK(!running_);
+  running_ = true;
+  if (!receive_loop_spawned_) {
+    receive_loop_spawned_ = true;
+    simulator_.Spawn(ReceiveLoop());
+  }
+  if (work_queue_->closed()) {
+    // Restart after a crash: the old worker pool exited when the queue
+    // closed; stale duplicate-cache state died with the "kernel".
+    work_queue_ = std::make_unique<sim::Channel<Incoming>>(simulator_);
+    dup_cache_.clear();
+    dup_order_.clear();
+    ++pool_generation_;
+  }
+  for (int i = 0; i < options_.num_workers; ++i) {
+    simulator_.Spawn(Worker(pool_generation_));
+  }
+}
+
+void Peer::Shutdown() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  work_queue_->Close();
+  // Fail out any calls still waiting for replies.
+  for (auto& [xid, promise] : pending_) {
+    promise.TrySet(proto::ErrorReply(base::ErrUnavailable()));
+  }
+}
+
+sim::Duration Peer::PayloadCost(uint32_t wire_bytes) const {
+  return options_.costs.per_kb * static_cast<sim::Duration>(wire_bytes) / 1024;
+}
+
+void Peer::SendEnvelope(net::Address dst, proto::Envelope envelope) {
+  network_.Send(net::Packet{address_, dst, std::move(envelope)});
+}
+
+sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Request request) {
+  return Call(dst, std::move(request), options_.default_call);
+}
+
+sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Request request,
+                                                 CallOptions options) {
+  CHECK(running_);
+  uint64_t xid = next_xid_++;
+  client_ops_.Add(proto::KindOf(request));
+
+  uint32_t wire = proto::WireSize(request);
+  co_await cpu_.Run(options_.costs.client_per_call + PayloadCost(wire));
+
+  sim::Duration timeout = options.timeout;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retransmissions_;
+      LOG_DEBUG("rpc", "%s retransmit xid=%llu attempt=%d", name_.c_str(),
+                static_cast<unsigned long long>(xid), attempt + 1);
+    }
+    sim::Promise<proto::Reply> promise(simulator_);
+    pending_.insert_or_assign(xid, promise);
+
+    proto::Envelope env;
+    env.xid = xid;
+    env.is_reply = false;
+    env.request = request;  // copy retained for retransmission
+    SendEnvelope(dst, std::move(env));
+
+    // The timeout races the reply for the promise.
+    simulator_.Schedule(timeout, [promise]() mutable {
+      promise.TrySet(proto::ErrorReply(base::ErrTimedOut()));
+    });
+
+    proto::Reply reply = co_await promise.GetFuture();
+    if (reply.status != base::ErrTimedOut()) {
+      pending_.erase(xid);
+      co_await cpu_.Run(PayloadCost(proto::WireSize(reply)));
+      co_return reply;
+    }
+    timeout = static_cast<sim::Duration>(static_cast<double>(timeout) * options.backoff);
+  }
+  pending_.erase(xid);
+  co_return base::ErrTimedOut();
+}
+
+sim::Task<void> Peer::ReceiveLoop() {
+  sim::Channel<net::Packet>& rx = network_.Rx(address_);
+  while (true) {
+    std::optional<net::Packet> packet = co_await rx.Recv();
+    if (!packet.has_value()) {
+      co_return;
+    }
+    if (!running_) {
+      continue;  // crashed host: discard anything queued
+    }
+    if (packet->envelope.is_reply) {
+      HandleIncomingReply(std::move(*packet));
+    } else {
+      HandleIncomingRequest(std::move(*packet));
+    }
+  }
+}
+
+void Peer::HandleIncomingReply(net::Packet packet) {
+  auto it = pending_.find(packet.envelope.xid);
+  if (it == pending_.end()) {
+    // Late duplicate reply after the call completed; drop it.
+    return;
+  }
+  it->second.TrySet(std::move(packet.envelope.reply));
+}
+
+void Peer::HandleIncomingRequest(net::Packet packet) {
+  DupKey key{packet.src.host, packet.envelope.xid};
+  auto it = dup_cache_.find(key);
+  if (it != dup_cache_.end()) {
+    ++duplicates_suppressed_;
+    if (it->second.done) {
+      // Resend the cached reply without re-executing (exactly-once effect).
+      proto::Envelope env;
+      env.xid = packet.envelope.xid;
+      env.is_reply = true;
+      env.reply = it->second.reply;
+      SendEnvelope(packet.src, std::move(env));
+    }
+    // else: still executing; the client will retry again.
+    return;
+  }
+  dup_cache_.emplace(key, DupEntry{});
+  dup_order_.push_back(key);
+  while (dup_order_.size() > options_.dup_cache_entries) {
+    DupKey victim = dup_order_.front();
+    dup_order_.pop_front();
+    auto vit = dup_cache_.find(victim);
+    if (vit != dup_cache_.end() && vit->second.done) {
+      dup_cache_.erase(vit);
+    } else {
+      dup_order_.push_back(victim);  // never evict in-progress entries
+      break;
+    }
+  }
+  work_queue_->Send(Incoming{packet.src, packet.envelope.xid, std::move(packet.envelope.request)});
+}
+
+sim::Task<void> Peer::Worker(uint64_t generation) {
+  while (generation == pool_generation_) {
+    std::optional<Incoming> incoming = co_await work_queue_->Recv();
+    if (!incoming.has_value() || generation != pool_generation_) {
+      co_return;
+    }
+    uint32_t wire = proto::WireSize(incoming->request);
+    co_await cpu_.Run(options_.costs.server_per_call + PayloadCost(wire));
+
+    proto::Reply reply;
+    if (handler_) {
+      server_ops_.Add(proto::KindOf(incoming->request));
+      reply = co_await handler_(incoming->request, incoming->from);
+    } else {
+      reply = proto::ErrorReply(base::ErrNotSupported());
+    }
+
+    DupKey key{incoming->from.host, incoming->xid};
+    auto it = dup_cache_.find(key);
+    if (it != dup_cache_.end()) {
+      it->second.done = true;
+      it->second.reply = reply;
+    }
+
+    proto::Envelope env;
+    env.xid = incoming->xid;
+    env.is_reply = true;
+    env.reply = std::move(reply);
+    SendEnvelope(incoming->from, std::move(env));
+  }
+}
+
+}  // namespace rpc

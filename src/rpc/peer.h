@@ -1,0 +1,171 @@
+// rpc::Peer — one RPC endpoint per host, playing both roles:
+//
+//  * client stub: Call() assigns an XID, charges client CPU, transmits, and
+//    waits for the matching reply with timeout + exponential-backoff
+//    retransmission (Sun-RPC-over-UDP style);
+//  * server: a pool of worker threads (simulated) drains a request queue
+//    and runs the registered handler. A duplicate-request cache (after
+//    Juszczak [3], cited by the paper) suppresses re-execution of retried
+//    non-idempotent operations: retransmits of in-progress calls are
+//    dropped, retransmits of completed calls get the cached reply.
+//
+// SNFS needs both roles on both machines: clients must serve the server's
+// callback RPCs (§4.2.2 "we simply use the existing NFS server code").
+#ifndef SRC_RPC_PEER_H_
+#define SRC_RPC_PEER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/base/result.h"
+#include "src/metrics/op_counters.h"
+#include "src/net/network.h"
+#include "src/proto/messages.h"
+#include "src/sim/cpu.h"
+#include "src/sim/future.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace rpc {
+
+// CPU cost charged per RPC at each end. The per-kilobyte term models data
+// copies / checksums for read and write payloads.
+struct CostModel {
+  sim::Duration client_per_call = sim::Usec(400);
+  sim::Duration server_per_call = sim::Usec(600);
+  sim::Duration per_kb = sim::Usec(120);
+};
+
+struct CallOptions {
+  sim::Duration timeout = sim::Sec(1);
+  int max_attempts = 6;
+  double backoff = 2.0;
+};
+
+struct PeerOptions {
+  int num_workers = 4;
+  CostModel costs;
+  CallOptions default_call;
+  size_t dup_cache_entries = 1024;
+};
+
+class Peer {
+ public:
+  using Handler =
+      std::function<sim::Task<proto::Reply>(const proto::Request&, net::Address from)>;
+
+  Peer(sim::Simulator& simulator, net::Network& network, sim::Cpu& cpu, std::string name,
+       PeerOptions options = {});
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  net::Address address() const { return address_; }
+  const std::string& name() const { return name_; }
+
+  // Server role: install the request handler. May be left unset on pure
+  // clients; requests then get kNotSupported replies.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  // Spawn the receive loop and worker pool.
+  void Start();
+
+  // Stop accepting traffic and wake parked daemons so they exit. In-flight
+  // handlers run to completion but their replies are dropped if the host is
+  // marked down in the Network.
+  void Shutdown();
+
+  // Issue an RPC and await the reply (or kTimedOut after retries).
+  sim::Task<base::Result<proto::Reply>> Call(net::Address dst, proto::Request request);
+  sim::Task<base::Result<proto::Reply>> Call(net::Address dst, proto::Request request,
+                                             CallOptions options);
+
+  // Counters: calls this peer issued (client role) and calls it executed
+  // (server role, duplicates excluded).
+  metrics::OpCounters& client_ops() { return client_ops_; }
+  metrics::OpCounters& server_ops() { return server_ops_; }
+  const metrics::OpCounters& client_ops() const { return client_ops_; }
+  const metrics::OpCounters& server_ops() const { return server_ops_; }
+
+  uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+  sim::Cpu& cpu() { return cpu_; }
+
+ private:
+  struct DupKey {
+    int host;
+    uint64_t xid;
+    friend bool operator==(const DupKey&, const DupKey&) = default;
+  };
+  struct DupKeyHash {
+    size_t operator()(const DupKey& k) const {
+      return std::hash<uint64_t>()(k.xid * 1000003ULL + static_cast<uint64_t>(k.host));
+    }
+  };
+  struct DupEntry {
+    bool done = false;
+    proto::Reply reply;  // valid when done
+  };
+  struct Incoming {
+    net::Address from;
+    uint64_t xid;
+    proto::Request request;
+  };
+
+  sim::Task<void> ReceiveLoop();
+  sim::Task<void> Worker(uint64_t generation);
+  void HandleIncomingRequest(net::Packet packet);
+  void HandleIncomingReply(net::Packet packet);
+  void SendEnvelope(net::Address dst, proto::Envelope envelope);
+  sim::Duration PayloadCost(uint32_t wire_bytes) const;
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  sim::Cpu& cpu_;
+  std::string name_;
+  PeerOptions options_;
+  net::Address address_;
+  Handler handler_;
+  bool running_ = false;
+  bool receive_loop_spawned_ = false;
+  uint64_t pool_generation_ = 0;
+
+  uint64_t next_xid_ = 1;
+  std::unordered_map<uint64_t, sim::Promise<proto::Reply>> pending_;
+
+  std::unique_ptr<sim::Channel<Incoming>> work_queue_;
+  std::unordered_map<DupKey, DupEntry, DupKeyHash> dup_cache_;
+  std::deque<DupKey> dup_order_;  // FIFO eviction
+
+  metrics::OpCounters client_ops_;
+  metrics::OpCounters server_ops_;
+  uint64_t retransmissions_ = 0;
+  uint64_t duplicates_suppressed_ = 0;
+};
+
+// Helper to unwrap a typed reply body from a generic Reply.
+template <typename T>
+base::Result<T> Expect(base::Result<proto::Reply> reply) {
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (!reply->status.ok()) {
+    return reply->status;
+  }
+  T* body = std::get_if<T>(&reply->body);
+  if (body == nullptr) {
+    return base::ErrIo();
+  }
+  return std::move(*body);
+}
+
+}  // namespace rpc
+
+#endif  // SRC_RPC_PEER_H_

@@ -1,0 +1,44 @@
+// A single-core CPU resource with FIFO scheduling and busy-time accounting.
+//
+// Every compute cost in the system — RPC processing, compile phases, kernel
+// path-name handling — is `co_await cpu.Run(cost)`. Contending activities
+// queue; the integral of busy time drives the server-utilization figures
+// (paper Figures 5-1 / 5-2).
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+
+class Cpu {
+ public:
+  explicit Cpu(Simulator& simulator) : simulator_(simulator), mutex_(simulator) {}
+
+  // Occupy the CPU for `cost` of virtual time (queueing behind other users).
+  Task<void> Run(Duration cost) {
+    if (cost <= 0) {
+      co_return;
+    }
+    co_await mutex_.Acquire();
+    co_await Sleep(simulator_, cost);
+    busy_us_ += cost;
+    mutex_.Release();
+  }
+
+  // Cumulative busy time; utilization over a window is the delta of this
+  // divided by the window length.
+  Duration busy_time() const { return busy_us_; }
+
+ private:
+  Simulator& simulator_;
+  Mutex mutex_;
+  Duration busy_us_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_CPU_H_

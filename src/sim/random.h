@@ -1,0 +1,45 @@
+// Deterministic pseudo-random numbers for the simulator (splitmix64 core).
+// Every stochastic component takes an explicit Rng so runs are reproducible
+// from a single seed, and components can be given independent streams.
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi], inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CHECK_LE(lo, hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Fork an independent stream (for per-component determinism).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,93 @@
+#include "src/sim/simulator.h"
+
+#include "src/base/log.h"
+
+namespace sim {
+namespace {
+
+// The most recently running simulator, exposed to the logger so log lines
+// carry virtual timestamps. Single-threaded by construction.
+Simulator* g_current = nullptr;
+
+int64_t LogNow() { return g_current != nullptr ? g_current->Now() : -1; }
+
+}  // namespace
+
+Simulator::Simulator() {
+  g_current = this;
+  base::SetLogNowHook(&LogNow);
+}
+
+Simulator::~Simulator() {
+  if (g_current == this) {
+    g_current = nullptr;
+    base::SetLogNowHook(nullptr);
+  }
+}
+
+void Simulator::Schedule(Duration delay, std::function<void()> fn, bool background) {
+  CHECK_GE(delay, 0);
+  ScheduleAt(now_ + delay, std::move(fn), background);
+}
+
+void Simulator::ScheduleAt(Time when, std::function<void()> fn, bool background) {
+  CHECK_GE(when, now_);
+  if (!background) {
+    ++foreground_pending_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn), background});
+}
+
+void Simulator::Spawn(Task<void> task) {
+  auto handle = task.Release();
+  CHECK(handle);
+  handle.promise().detached = true;
+  handle.promise().started = true;
+  Schedule(0, [handle]() { handle.resume(); });
+}
+
+void Simulator::Ready(std::coroutine_handle<> h) {
+  Schedule(0, [h]() { h.resume(); });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // std::priority_queue::top is const; moving the closure out requires the
+  // usual const_cast dance. Safe: we pop immediately after.
+  Event& top = const_cast<Event&>(queue_.top());
+  Time at = top.at;
+  bool background = top.background;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  if (!background) {
+    CHECK_GT(foreground_pending_, 0u);
+    --foreground_pending_;
+  }
+  CHECK_GE(at, now_);
+  now_ = at;
+  ++events_processed_;
+  CHECK_LT(events_processed_, max_events_);
+  g_current = this;
+  fn();
+  return true;
+}
+
+Time Simulator::Run() {
+  while (foreground_pending_ > 0 && Step()) {
+  }
+  return now_;
+}
+
+Time Simulator::RunUntil(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace sim

@@ -1,0 +1,110 @@
+// The discrete-event simulator core: a virtual clock and an event queue.
+//
+// Determinism: events at the same virtual time run in scheduling order
+// (FIFO via a monotone sequence number), so a given seed always produces an
+// identical execution. All coroutine resumptions go through this queue.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time. Valid at any point, including before Run.
+  Time Now() const { return now_; }
+
+  // Enqueue `fn` to run at Now() + delay. delay must be >= 0. Background
+  // events (periodic daemon wakeups) do not keep Run() alive: Run() returns
+  // once only background events remain.
+  void Schedule(Duration delay, std::function<void()> fn, bool background = false);
+
+  // Enqueue at an absolute virtual time (>= Now()).
+  void ScheduleAt(Time when, std::function<void()> fn, bool background = false);
+
+  // Start a detached coroutine. The task begins running at the current
+  // virtual time (via the event queue) and owns itself until completion.
+  void Spawn(Task<void> task);
+
+  // Process events until no foreground events remain. Returns the final
+  // time. Parked coroutines (channel receivers with nothing to receive) and
+  // background timers do not count as pending work.
+  Time Run();
+
+  // Process events until virtual time exceeds `deadline`; events at exactly
+  // `deadline` still run. Returns the time of the last processed event.
+  Time RunUntil(Time deadline);
+
+  // Safety valve: abort if a single Run processes more than this many events
+  // (catches accidental infinite event loops in tests).
+  void set_max_events(uint64_t n) { max_events_ = n; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Resume a coroutine through the event queue at the current time. This is
+  // the only way sync primitives wake waiters: it guarantees FIFO fairness
+  // and avoids unbounded recursion through resume chains.
+  void Ready(std::coroutine_handle<> h);
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool background = false;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool Step();  // run one event; false if queue empty
+
+  Time now_ = 0;
+  uint64_t foreground_pending_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  uint64_t max_events_ = 2'000'000'000;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+// Awaitable: suspend the current coroutine for `d` of virtual time.
+//   co_await sim::Sleep(sim, sim::Msec(30));
+struct Sleep {
+  Simulator& simulator;
+  Duration duration;
+  bool background;
+
+  // `background` marks the sleep of a periodic daemon; it does not keep
+  // Simulator::Run() alive.
+  Sleep(Simulator& s, Duration d, bool background = false)
+      : simulator(s), duration(d), background(background) {}
+
+  bool await_ready() const noexcept { return duration <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    simulator.Schedule(duration, [h]() { h.resume(); }, background);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,192 @@
+// Task<T>: the coroutine type for all simulated activities.
+//
+// Tasks are lazy: creating one does nothing until it is either awaited
+// (`co_await ChildOp()`, which runs the child to completion before the
+// parent resumes) or handed to Simulator::Spawn (detached top-level
+// activity, e.g. a client workload or a daemon).
+//
+// Lifetime rules:
+//  - An awaited task completes before the awaiter resumes, so the Task
+//    object always outlives the coroutine frame.
+//  - A spawned task owns itself; its frame is destroyed at final-suspend.
+//  - Destroying a Task that was started but is not finished is a bug
+//    (some awaitable still holds its handle); we CHECK against it.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+  bool started = false;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+      PromiseBase& p = h.promise();
+      if (p.continuation) {
+        return p.continuation;
+      }
+      if (p.detached) {
+        if (p.exception) {
+          std::fprintf(stderr, "sim::Task: unhandled exception in detached task\n");
+          std::abort();
+        }
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+  };
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { this->exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+  using FinalAwaiter = detail::PromiseBase::FinalAwaiter;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Reset(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  // Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  // once the task completes, yielding its value.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    CHECK(handle_ && !handle_.promise().started);
+    handle_.promise().started = true;
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  T await_resume() {
+    promise_type& p = handle_.promise();
+    if (p.exception) {
+      std::rethrow_exception(p.exception);
+    }
+    CHECK(p.value.has_value());
+    return std::move(*p.value);
+  }
+
+  // Relinquish ownership (used by Simulator::Spawn).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  void Reset() {
+    if (handle_) {
+      // Either never started, or ran to completion under co_await.
+      CHECK(!handle_.promise().started || handle_.done());
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { this->exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+  using FinalAwaiter = detail::PromiseBase::FinalAwaiter;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Reset(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    CHECK(handle_ && !handle_.promise().started);
+    handle_.promise().started = true;
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    promise_type& p = handle_.promise();
+    if (p.exception) {
+      std::rethrow_exception(p.exception);
+    }
+  }
+
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  void Reset() {
+    if (handle_) {
+      CHECK(!handle_.promise().started || handle_.done());
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_TASK_H_

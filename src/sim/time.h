@@ -1,0 +1,30 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is int64 microseconds. Helpers construct durations in
+// the units the rest of the codebase speaks (disk latencies in ms, probe
+// intervals in seconds).
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace sim {
+
+// A point in virtual time, microseconds since simulation start.
+using Time = int64_t;
+// A span of virtual time, microseconds.
+using Duration = int64_t;
+
+constexpr Duration Usec(int64_t us) { return us; }
+constexpr Duration Msec(int64_t ms) { return ms * 1000; }
+constexpr Duration Sec(int64_t s) { return s * 1000 * 1000; }
+
+// Fractional seconds, e.g. SecF(0.5) == 500ms.
+constexpr Duration SecF(double s) { return static_cast<Duration>(s * 1e6); }
+
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace sim
+
+#endif  // SRC_SIM_TIME_H_

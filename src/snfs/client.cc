@@ -1,0 +1,550 @@
+#include "src/snfs/client.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace snfs {
+
+using cache::kBlockSize;
+
+SnfsClient::SnfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address server,
+                       proto::FileHandle root_fh, cache::BufferCache& cache,
+                       SnfsClientParams params)
+    : simulator_(simulator),
+      peer_(peer),
+      server_(server),
+      root_fh_(root_fh),
+      cache_(cache),
+      params_(params) {
+  cache::Backing backing;
+  backing.fetch = [this](uint64_t fileid, uint64_t block)
+      -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    auto it = nodes_.find(fileid);
+    if (it == nodes_.end()) {
+      co_return base::ErrStale();
+    }
+    proto::ReadReq req;
+    req.fh = it->second->fh;
+    req.offset = block * kBlockSize;
+    req.count = kBlockSize;
+    auto rep = rpc::Expect<proto::ReadRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    co_return std::move(rep->data);
+  };
+  backing.store = [this](uint64_t fileid, uint64_t block,
+                         std::vector<uint8_t> data) -> sim::Task<base::Result<void>> {
+    auto it = nodes_.find(fileid);
+    if (it == nodes_.end()) {
+      co_return base::ErrStale();
+    }
+    proto::WriteReq req;
+    req.fh = it->second->fh;
+    req.offset = block * kBlockSize;
+    req.data = std::move(data);
+    auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    co_return base::OkStatus();
+  };
+  mount_id_ = cache_.RegisterMount(std::move(backing));
+}
+
+void SnfsClient::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (params_.delayed_close) {
+    simulator_.Spawn(DelayedCloseDaemon());
+  }
+  if (params_.enable_recovery) {
+    simulator_.Spawn(KeepaliveDaemon());
+  }
+}
+
+void SnfsClient::Stop() { running_ = false; }
+
+SnfsClient::NodeRef SnfsClient::AsNode(const vfs::GnodeRef& node) {
+  return std::static_pointer_cast<SnfsNode>(node);
+}
+
+SnfsClient::NodeRef SnfsClient::Intern(const proto::FileHandle& fh, const proto::Attr& attr) {
+  auto it = nodes_.find(fh.fileid);
+  if (it != nodes_.end() && it->second->fh == fh) {
+    // Attributes for files we hold dirty data on are locally authoritative.
+    if (!cache_.HasDirty(mount_id_, fh.fileid)) {
+      proto::Attr merged = attr;
+      merged.size = std::max(merged.size, it->second->attr.size);
+      it->second->attr = merged;
+    }
+    return it->second;
+  }
+  auto node = std::make_shared<SnfsNode>();
+  node->fh = fh;
+  node->attr = attr;
+  nodes_[fh.fileid] = node;
+  return node;
+}
+
+// --- open/close --------------------------------------------------------------
+
+sim::Task<base::Result<void>> SnfsClient::SendOpen(NodeRef node, bool write) {
+  proto::OpenReq req;
+  req.fh = node->fh;
+  req.write_mode = write;
+  for (int attempt = 0;; ++attempt) {
+    auto rep = rpc::Expect<proto::OpenRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      if (rep.status() == base::ErrUnavailable() && attempt < params_.open_retry_limit) {
+        // Server is rebooting / in its recovery grace period.
+        co_await sim::Sleep(simulator_, params_.open_retry_delay);
+        continue;
+      }
+      co_return rep.status();
+    }
+
+    // Cache validation (§3.1): valid if the cached version matches the
+    // latest version; a writer's cache is also valid if it matches the
+    // previous version (the bump was caused by this very open).
+    bool cache_valid = node->have_cached_data &&
+                       (node->cached_version == rep->version ||
+                        (write && node->cached_version == rep->prev_version));
+    if (node->have_cached_data && !cache_valid) {
+      cache_.InvalidateFile(mount_id_, node->fh.fileid);
+      node->have_cached_data = false;
+    }
+    node->cached_version = rep->version;
+    node->cache_enabled = rep->cache_enabled;
+    if (!rep->cache_enabled) {
+      // Write-shared: nobody caches. Any dirty blocks should already have
+      // been called back, but be safe.
+      if (cache_.HasDirty(mount_id_, node->fh.fileid)) {
+        (void)co_await cache_.FlushFile(mount_id_, node->fh.fileid);
+      }
+      cache_.InvalidateFile(mount_id_, node->fh.fileid);
+      node->have_cached_data = false;
+    }
+    node->possibly_inconsistent = rep->possibly_inconsistent;
+    if (rep->possibly_inconsistent) {
+      ++inconsistent_opens_;
+    }
+    // The open reply carries attributes, replacing NFS's open-time getattr.
+    if (!cache_.HasDirty(mount_id_, node->fh.fileid)) {
+      node->attr = rep->attr;
+    }
+    if (write) {
+      ++node->server_writes;
+    } else {
+      ++node->server_reads;
+    }
+    co_return base::OkStatus();
+  }
+}
+
+sim::Task<void> SnfsClient::SendClose(NodeRef node, bool write) {
+  proto::CloseReq req;
+  req.fh = node->fh;
+  req.write_mode = write;
+  req.has_dirty = cache_.HasDirty(mount_id_, node->fh.fileid);
+  (void)co_await peer_.Call(server_, req);
+  if (write) {
+    CHECK_GT(node->server_writes, 0u);
+    --node->server_writes;
+  } else {
+    CHECK_GT(node->server_reads, 0u);
+    --node->server_reads;
+  }
+}
+
+sim::Task<void> SnfsClient::FlushOwedCloses(NodeRef node) {
+  while (OwedWrites(*node) > 0) {
+    co_await SendClose(node, /*write=*/true);
+  }
+  while (OwedReads(*node) > 0) {
+    co_await SendClose(node, /*write=*/false);
+  }
+}
+
+sim::Task<base::Result<void>> SnfsClient::Open(vfs::GnodeRef gnode, bool write) {
+  NodeRef node = AsNode(gnode);
+  bool need_rpc = true;
+  if (params_.delayed_close) {
+    // Reuse a server-side open we never closed, if its mode covers us.
+    if (write ? OwedWrites(*node) > 0 : (OwedReads(*node) > 0 || OwedWrites(*node) > 0)) {
+      ++delayed_close_hits_;
+      need_rpc = false;
+    }
+  }
+  if (need_rpc) {
+    CO_RETURN_IF_ERROR(co_await SendOpen(node, write));
+  }
+  if (write) {
+    ++node->open_writes;
+  } else {
+    ++node->open_reads;
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> SnfsClient::Close(vfs::GnodeRef gnode, bool write) {
+  NodeRef node = AsNode(gnode);
+  if (write) {
+    CHECK_GT(node->open_writes, 0u);
+    --node->open_writes;
+  } else {
+    CHECK_GT(node->open_reads, 0u);
+    --node->open_reads;
+  }
+  node->last_close = simulator_.Now();
+  if (!params_.delayed_close) {
+    // No flush of dirty data here — that is the whole point of SNFS.
+    co_await SendClose(node, write);
+  }
+  // With delayed close, the close RPC is owed: server counts stay high
+  // until a callback, the scan daemon, or an unlink settles the debt.
+  co_return base::OkStatus();
+}
+
+sim::Task<void> SnfsClient::DelayedCloseDaemon() {
+  while (running_) {
+    co_await sim::Sleep(simulator_, params_.delayed_close_scan, /*background=*/true);
+    if (!running_) {
+      break;
+    }
+    sim::Time cutoff = simulator_.Now() - params_.delayed_close_timeout;
+    // Spontaneously close files not reopened for a while (§6.2).
+    std::vector<NodeRef> victims;
+    for (const auto& [fileid, node] : nodes_) {
+      if ((OwedReads(*node) > 0 || OwedWrites(*node) > 0) && node->last_close <= cutoff) {
+        victims.push_back(node);
+      }
+    }
+    for (const NodeRef& node : victims) {
+      co_await FlushOwedCloses(node);
+    }
+  }
+}
+
+// --- callbacks ----------------------------------------------------------------
+
+sim::Task<proto::Reply> SnfsClient::HandleCallback(const proto::CallbackReq& req) {
+  ++callbacks_served_;
+  auto it = nodes_.find(req.fh.fileid);
+  if (it == nodes_.end() || !(it->second->fh == req.fh)) {
+    co_return proto::OkReply(proto::CallbackRep{});
+  }
+  NodeRef node = it->second;
+  if (req.writeback) {
+    // "The client should not return from the callback RPC until all the
+    // dirty blocks have been written back to the server."
+    (void)co_await cache_.FlushFile(mount_id_, node->fh.fileid);
+  }
+  if (req.invalidate) {
+    cache_.InvalidateFile(mount_id_, node->fh.fileid);
+    node->have_cached_data = false;
+    node->cache_enabled = false;
+  }
+  // §6.2: "if a client with a delayed-close file receives a callback for
+  // that file, the appropriate response is to close the file so that it can
+  // be cached by the new client host". Deferred: issuing close RPCs from
+  // inside the callback would deadlock against the server-side per-file
+  // lock held by our caller.
+  bool fully_closed_locally = node->open_reads + node->open_writes == 0;
+  bool owes_closes = OwedReads(*node) > 0 || OwedWrites(*node) > 0;
+  if (params_.delayed_close && owes_closes && (req.relinquish || fully_closed_locally)) {
+    simulator_.Spawn(FlushOwedCloses(node));
+  }
+  co_return proto::OkReply(proto::CallbackRep{});
+}
+
+// --- recovery -----------------------------------------------------------------
+
+sim::Task<void> SnfsClient::KeepaliveDaemon() {
+  // First ping runs immediately to establish the epoch baseline; then the
+  // loop settles into the keepalive cadence.
+  bool suspected_down = false;
+  bool first = true;
+  rpc::CallOptions ping_opts;
+  ping_opts.timeout = sim::Sec(2);
+  ping_opts.max_attempts = 2;
+  while (running_) {
+    if (!first) {
+      co_await sim::Sleep(simulator_, params_.keepalive_interval, /*background=*/true);
+    }
+    first = false;
+    if (!running_) {
+      break;
+    }
+    proto::PingReq req;
+    req.sender_epoch = 1;
+    auto rep = rpc::Expect<proto::PingRep>(co_await peer_.Call(server_, req, ping_opts));
+    if (!rep.ok()) {
+      // Missed keepalive: the server may have crashed (or the network
+      // partitioned); recover once it answers again.
+      suspected_down = true;
+      continue;
+    }
+    bool epoch_changed = last_seen_epoch_ != 0 && rep->responder_epoch != last_seen_epoch_;
+    if (epoch_changed || (suspected_down && last_seen_epoch_ != 0)) {
+      LOG_INFO("snfs", "detected server reboot (epoch %llu -> %llu); running recovery",
+               static_cast<unsigned long long>(last_seen_epoch_),
+               static_cast<unsigned long long>(rep->responder_epoch));
+      co_await RunRecovery();
+    }
+    suspected_down = false;
+    last_seen_epoch_ = rep->responder_epoch;
+  }
+}
+
+sim::Task<void> SnfsClient::RunRecovery() {
+  ++recoveries_run_;
+  for (const auto& [fileid, node] : nodes_) {
+    bool has_dirty = cache_.HasDirty(mount_id_, fileid);
+    if (node->server_reads == 0 && node->server_writes == 0 && !has_dirty) {
+      continue;
+    }
+    proto::ReopenReq req;
+    req.fh = node->fh;
+    req.read_count = node->server_reads;
+    req.write_count = node->server_writes;
+    req.has_dirty = has_dirty;
+    req.cached_version = node->cached_version;
+    auto rep = rpc::Expect<proto::ReopenRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      LOG_INFO("snfs", "reopen for file %llu failed: %s",
+               static_cast<unsigned long long>(fileid),
+               std::string(rep.status().name()).c_str());
+      continue;
+    }
+    node->cached_version = rep->version;
+    if (!rep->cache_enabled) {
+      if (has_dirty) {
+        (void)co_await cache_.FlushFile(mount_id_, fileid);
+      }
+      cache_.InvalidateFile(mount_id_, fileid);
+      node->have_cached_data = false;
+      node->cache_enabled = false;
+    }
+  }
+}
+
+// --- namespace & data ----------------------------------------------------------
+
+sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Root() {
+  auto it = nodes_.find(root_fh_.fileid);
+  if (it != nodes_.end()) {
+    co_return vfs::GnodeRef(it->second);
+  }
+  proto::GetAttrReq req;
+  req.fh = root_fh_;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(root_fh_, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Lookup(vfs::GnodeRef dir,
+                                                          const std::string& name) {
+  proto::LookupReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::LookupRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Create(vfs::GnodeRef dir,
+                                                          const std::string& name,
+                                                          bool exclusive) {
+  proto::CreateReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  req.exclusive = exclusive;
+  auto rep = rpc::Expect<proto::CreateRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Mkdir(vfs::GnodeRef dir,
+                                                         const std::string& name) {
+  proto::MkdirReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::CreateRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<std::vector<uint8_t>>> SnfsClient::Read(vfs::GnodeRef gnode,
+                                                               uint64_t offset, uint32_t count) {
+  NodeRef node = AsNode(gnode);
+  if (!node->cache_enabled) {
+    // Write-shared: every read goes to the server, read-ahead disabled.
+    proto::ReadReq req;
+    req.fh = node->fh;
+    req.offset = offset;
+    req.count = count;
+    auto rep = rpc::Expect<proto::ReadRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    node->attr = rep->attr;
+    co_return std::move(rep->data);
+  }
+  auto data = co_await cache_.Read(mount_id_, node->fh.fileid, offset, count, node->attr.size,
+                                   /*read_ahead=*/true);
+  if (data.ok() && !data->empty()) {
+    node->have_cached_data = true;
+  }
+  co_return data;
+}
+
+sim::Task<base::Result<void>> SnfsClient::Write(vfs::GnodeRef gnode, uint64_t offset,
+                                                const std::vector<uint8_t>& data) {
+  NodeRef node = AsNode(gnode);
+  if (!node->cache_enabled) {
+    // Reverts to (synchronous) write-through, giving single-copy
+    // consistency between writer and server.
+    proto::WriteReq req;
+    req.fh = node->fh;
+    req.offset = offset;
+    req.data = data;
+    auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    node->attr = rep->attr;
+    co_return base::OkStatus();
+  }
+  CO_RETURN_IF_ERROR(
+      co_await cache_.WriteDelayed(mount_id_, node->fh.fileid, offset, data, node->attr.size));
+  node->have_cached_data = true;
+  node->attr.size = std::max(node->attr.size, offset + data.size());
+  node->attr.mtime = simulator_.Now();
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<proto::Attr>> SnfsClient::GetAttr(vfs::GnodeRef gnode) {
+  NodeRef node = AsNode(gnode);
+  if (node->cache_enabled) {
+    // "In SNFS, the attributes cache needs no refreshing if the file is
+    // cachable."
+    co_return node->attr;
+  }
+  proto::GetAttrReq req;
+  req.fh = node->fh;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  node->attr = rep->attr;
+  co_return node->attr;
+}
+
+sim::Task<base::Result<void>> SnfsClient::Truncate(vfs::GnodeRef gnode, uint64_t size) {
+  NodeRef node = AsNode(gnode);
+  cache_.CancelDirty(mount_id_, node->fh.fileid);
+  cache_.InvalidateFile(mount_id_, node->fh.fileid);
+  node->have_cached_data = false;
+  proto::SetAttrReq req;
+  req.fh = node->fh;
+  req.size = size;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  node->attr = rep->attr;
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> SnfsClient::Remove(vfs::GnodeRef dir, const std::string& name,
+                                                 vfs::GnodeRef target) {
+  NodeRef victim = AsNode(target);
+  // "Sprite and SNFS take advantage of this behavior by 'cancelling'
+  // delayed writes when a file is deleted."
+  cache_.CancelDirty(mount_id_, victim->fh.fileid);
+  cache_.InvalidateFile(mount_id_, victim->fh.fileid);
+  // Settle any delayed closes so the server can drop its entry cleanly.
+  if (params_.delayed_close) {
+    co_await FlushOwedCloses(victim);
+  }
+  proto::RemoveReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  nodes_.erase(victim->fh.fileid);
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> SnfsClient::Rmdir(vfs::GnodeRef dir, const std::string& name) {
+  proto::RmdirReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> SnfsClient::Rename(vfs::GnodeRef from_dir,
+                                                 const std::string& from_name,
+                                                 vfs::GnodeRef to_dir,
+                                                 const std::string& to_name) {
+  proto::RenameReq req;
+  req.from_dir = from_dir->fh;
+  req.from_name = from_name;
+  req.to_dir = to_dir->fh;
+  req.to_name = to_name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await peer_.Call(server_, req));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<std::vector<proto::DirEntry>>> SnfsClient::ReadDir(vfs::GnodeRef dir) {
+  std::vector<proto::DirEntry> all;
+  uint64_t cookie = 0;
+  while (true) {
+    proto::ReadDirReq req;
+    req.dir = dir->fh;
+    req.cookie = cookie;
+    req.count = 64;
+    auto rep = rpc::Expect<proto::ReadDirRep>(co_await peer_.Call(server_, req));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    for (auto& e : rep->entries) {
+      cookie = e.cookie;
+      all.push_back(std::move(e));
+    }
+    if (rep->eof) {
+      break;
+    }
+  }
+  co_return all;
+}
+
+sim::Task<base::Result<void>> SnfsClient::Fsync(vfs::GnodeRef gnode) {
+  NodeRef node = AsNode(gnode);
+  // "If reliability is more important than performance, an application can
+  // use explicit file-flushing operations to cause write-through."
+  co_return co_await cache_.FlushFile(mount_id_, node->fh.fileid);
+}
+
+}  // namespace snfs

@@ -1,0 +1,147 @@
+// The SNFS client (§4.2): explicit open/close RPCs, version-validated
+// client caching, server callbacks (write-back / invalidate), and the
+// Sprite-style delayed-write policy.
+//
+// Key behavioural differences from the NFS client:
+//  * no attribute-cache refreshing while a file is cachable — the explicit
+//    protocol keeps attributes valid (§4.2.1);
+//  * writes are delayed in the buffer cache and are NOT flushed at close
+//    ("Sprite allows the client's writebacks to proceed asynchronously even
+//    across file closes");
+//  * deleting a file cancels its delayed writes (§4.2.3);
+//  * non-cachable (write-shared) files bypass the cache entirely: every
+//    read and write goes to the server, read-ahead is disabled, and
+//    attributes always come from the server (§4.2.1);
+//  * optional delayed-close (§6.2): the close RPC is deferred in
+//    anticipation of a quick reopen, eliminating open/close traffic for
+//    reopen-heavy patterns (popular header files).
+#ifndef SRC_SNFS_CLIENT_H_
+#define SRC_SNFS_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/net/network.h"
+#include "src/proto/messages.h"
+#include "src/rpc/peer.h"
+#include "src/sim/simulator.h"
+#include "src/vfs/vfs.h"
+
+namespace snfs {
+
+struct SnfsClientParams {
+  // §6.2 delayed close.
+  bool delayed_close = false;
+  sim::Duration delayed_close_timeout = sim::Sec(180);  // spontaneous close after this
+  sim::Duration delayed_close_scan = sim::Sec(30);
+  // Crash-recovery extension (§2.4).
+  bool enable_recovery = false;
+  sim::Duration keepalive_interval = sim::Sec(30);
+  // Retry policy while the server is in its recovery grace period.
+  int open_retry_limit = 90;
+  sim::Duration open_retry_delay = sim::Sec(1);
+};
+
+class SnfsClient : public vfs::FileSystem {
+ public:
+  SnfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address server,
+             proto::FileHandle root_fh, cache::BufferCache& cache, SnfsClientParams params = {});
+
+  // Spawns the keepalive / delayed-close daemons when enabled.
+  void Start();
+  void Stop();
+
+  // True when this mount instance tracks the file (used by the machine's
+  // callback dispatcher when several mounts come from the same server).
+  bool Owns(const proto::FileHandle& fh) const {
+    auto it = nodes_.find(fh.fileid);
+    return it != nodes_.end() && it->second->fh == fh;
+  }
+
+  // Service a callback RPC from the server (the testbed routes CallbackReq
+  // with our fsid here). Must not issue close RPCs inline — see §3.2's
+  // deadlock discussion — so relinquish work is deferred.
+  sim::Task<proto::Reply> HandleCallback(const proto::CallbackReq& req);
+
+  // --- vfs::FileSystem ------------------------------------------------------
+  sim::Task<base::Result<vfs::GnodeRef>> Root() override;
+  sim::Task<base::Result<vfs::GnodeRef>> Lookup(vfs::GnodeRef dir, const std::string& name) override;
+  sim::Task<base::Result<vfs::GnodeRef>> Create(vfs::GnodeRef dir, const std::string& name,
+                                                bool exclusive) override;
+  sim::Task<base::Result<vfs::GnodeRef>> Mkdir(vfs::GnodeRef dir, const std::string& name) override;
+  sim::Task<base::Result<void>> Open(vfs::GnodeRef node, bool write) override;
+  sim::Task<base::Result<void>> Close(vfs::GnodeRef node, bool write) override;
+  sim::Task<base::Result<std::vector<uint8_t>>> Read(vfs::GnodeRef node, uint64_t offset,
+                                                     uint32_t count) override;
+  sim::Task<base::Result<void>> Write(vfs::GnodeRef node, uint64_t offset,
+                                      const std::vector<uint8_t>& data) override;
+  sim::Task<base::Result<proto::Attr>> GetAttr(vfs::GnodeRef node) override;
+  sim::Task<base::Result<void>> Truncate(vfs::GnodeRef node, uint64_t size) override;
+  sim::Task<base::Result<void>> Remove(vfs::GnodeRef dir, const std::string& name,
+                                       vfs::GnodeRef target) override;
+  sim::Task<base::Result<void>> Rmdir(vfs::GnodeRef dir, const std::string& name) override;
+  sim::Task<base::Result<void>> Rename(vfs::GnodeRef from_dir, const std::string& from_name,
+                                       vfs::GnodeRef to_dir, const std::string& to_name) override;
+  sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(vfs::GnodeRef dir) override;
+  sim::Task<base::Result<void>> Fsync(vfs::GnodeRef node) override;
+
+  int mount_id() const { return mount_id_; }
+  uint32_t fsid() const { return root_fh_.fsid; }
+  uint64_t callbacks_served() const { return callbacks_served_; }
+  uint64_t delayed_close_hits() const { return delayed_close_hits_; }
+  uint64_t recoveries_run() const { return recoveries_run_; }
+  uint64_t inconsistent_opens() const { return inconsistent_opens_; }
+
+ private:
+  struct SnfsNode : vfs::Gnode {
+    bool cache_enabled = true;
+    bool have_cached_data = false;   // any blocks might be in the cache
+    uint64_t cached_version = 0;     // version the cached blocks correspond to
+    // What the server believes about our opens (differs from open_reads /
+    // open_writes when delayed-close is holding closes back).
+    uint32_t server_reads = 0;
+    uint32_t server_writes = 0;
+    sim::Time last_close = 0;
+    bool possibly_inconsistent = false;
+  };
+  using NodeRef = std::shared_ptr<SnfsNode>;
+
+  static NodeRef AsNode(const vfs::GnodeRef& node);
+  NodeRef Intern(const proto::FileHandle& fh, const proto::Attr& attr);
+  sim::Task<base::Result<void>> SendOpen(NodeRef node, bool write);
+  sim::Task<void> SendClose(NodeRef node, bool write);
+  sim::Task<void> FlushOwedCloses(NodeRef node);
+  sim::Task<void> DelayedCloseDaemon();
+  sim::Task<void> KeepaliveDaemon();
+  sim::Task<void> RunRecovery();
+
+  uint32_t OwedReads(const SnfsNode& node) const {
+    return node.server_reads - node.open_reads;
+  }
+  uint32_t OwedWrites(const SnfsNode& node) const {
+    return node.server_writes - node.open_writes;
+  }
+
+  sim::Simulator& simulator_;
+  rpc::Peer& peer_;
+  net::Address server_;
+  proto::FileHandle root_fh_;
+  cache::BufferCache& cache_;
+  SnfsClientParams params_;
+  int mount_id_;
+  bool running_ = false;
+  uint64_t last_seen_epoch_ = 0;
+  std::unordered_map<uint64_t, NodeRef> nodes_;
+  uint64_t callbacks_served_ = 0;
+  uint64_t delayed_close_hits_ = 0;
+  uint64_t recoveries_run_ = 0;
+  uint64_t inconsistent_opens_ = 0;
+};
+
+}  // namespace snfs
+
+#endif  // SRC_SNFS_CLIENT_H_

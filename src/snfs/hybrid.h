@@ -1,0 +1,84 @@
+// NFS/SNFS coexistence (§6.1): a hybrid server exporting one file system to
+// both protocols at once.
+//
+// "One approach is to treat any NFS access to a file already open under
+// SNFS as implying an SNFS open operation. The server also has to keep,
+// for a period no less than the longest reasonable NFS attributes-probe
+// interval, a record of all other files accessed via NFS. By using this
+// information, the server can manage the caches of SNFS clients so as to
+// guarantee their consistency, and still provide 'normal' NFS consistency
+// to the NFS clients."
+//
+// Implementation: clients are distinguished by behaviour — "SNFS clients
+// always perform open operations before other file operations" — so a read
+// or write RPC from a host with no open recorded in the state table is an
+// NFS access. It acquires an implicit SNFS open (triggering whatever
+// callbacks the state table demands, so SNFS clients stay consistent) held
+// as a lease that is extended on access and closed after the NFS
+// attribute-probe horizon.
+#ifndef SRC_SNFS_HYBRID_H_
+#define SRC_SNFS_HYBRID_H_
+
+#include <map>
+#include <memory>
+
+#include "src/snfs/server.h"
+
+namespace snfs {
+
+struct HybridServerParams {
+  SnfsServerParams snfs;
+  // How long an implicit NFS open lingers after the last access; "no less
+  // than the longest reasonable NFS attributes-probe interval".
+  sim::Duration nfs_lease = sim::Sec(60);
+  sim::Duration lease_scan = sim::Sec(10);
+};
+
+class HybridServer {
+ public:
+  // Installs itself as `peer`'s request handler (owning an SnfsServer whose
+  // handler it overrides).
+  HybridServer(sim::Simulator& simulator, fs::LocalFs& fs, rpc::Peer& peer,
+               HybridServerParams params = {});
+
+  HybridServer(const HybridServer&) = delete;
+  HybridServer& operator=(const HybridServer&) = delete;
+
+  proto::FileHandle root() const { return snfs_->root(); }
+  SnfsServer& snfs_server() { return *snfs_; }
+
+  sim::Task<proto::Reply> Handle(const proto::Request& request, net::Address from);
+
+  uint64_t implicit_opens() const { return implicit_opens_; }
+  uint64_t lease_closes() const { return lease_closes_; }
+  size_t active_leases() const { return leases_.size(); }
+
+ private:
+  struct LeaseKey {
+    uint64_t fileid;
+    int host;
+    friend auto operator<=>(const LeaseKey&, const LeaseKey&) = default;
+  };
+  struct Lease {
+    proto::FileHandle fh;
+    bool write = false;
+    sim::Time expires = 0;
+  };
+
+  // Ensure the NFS client `host` holds an (implicit) open covering `write`
+  // access to `fh`; triggers SNFS callbacks exactly as an explicit open.
+  sim::Task<void> TouchLease(const proto::FileHandle& fh, int host, bool write);
+  sim::Task<void> LeaseDaemon();
+
+  sim::Simulator& simulator_;
+  rpc::Peer& peer_;
+  HybridServerParams params_;
+  std::unique_ptr<SnfsServer> snfs_;
+  std::map<LeaseKey, Lease> leases_;
+  uint64_t implicit_opens_ = 0;
+  uint64_t lease_closes_ = 0;
+};
+
+}  // namespace snfs
+
+#endif  // SRC_SNFS_HYBRID_H_

@@ -1,0 +1,283 @@
+#include "src/snfs/server.h"
+
+#include "src/base/log.h"
+
+namespace snfs {
+namespace {
+
+template <typename T>
+proto::Reply FromResult(base::Result<T> result) {
+  if (!result.ok()) {
+    return proto::ErrorReply(result.status());
+  }
+  return proto::OkReply(std::move(*result));
+}
+
+proto::Reply FromStatus(base::Result<void> result) {
+  if (!result.ok()) {
+    return proto::ErrorReply(result.status());
+  }
+  return proto::OkReply(proto::NullRep{});
+}
+
+}  // namespace
+
+SnfsServer::SnfsServer(sim::Simulator& simulator, fs::LocalFs& fs, rpc::Peer& peer,
+                       SnfsServerParams params)
+    : simulator_(simulator),
+      fs_(fs),
+      peer_(peer),
+      params_(params),
+      table_(StateTableParams{params.max_state_entries}),
+      callback_budget_(simulator, params.callback_budget) {
+  peer_.set_handler([this](const proto::Request& request, net::Address from) {
+    return Handle(request, from);
+  });
+}
+
+void SnfsServer::Crash() {
+  table_.Clear();
+  file_locks_.clear();
+}
+
+void SnfsServer::Restart() {
+  ++epoch_;
+  if (params_.enable_recovery) {
+    recovery_until_ = simulator_.Now() + params_.recovery_grace;
+  }
+}
+
+sim::Mutex& SnfsServer::FileLock(const proto::FileHandle& fh) {
+  auto it = file_locks_.find(fh.fileid);
+  if (it == file_locks_.end()) {
+    it = file_locks_.emplace(fh.fileid, std::make_unique<sim::Mutex>(simulator_)).first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> SnfsServer::IssueCallback(const proto::FileHandle& fh,
+                                          const CallbackAction& action) {
+  if (action.host < 0) {
+    co_return;
+  }
+  ++callbacks_issued_;
+  co_await callback_budget_.Acquire();
+  uint64_t in_progress_key = (fh.fileid << 16) ^ static_cast<uint64_t>(action.host);
+  callbacks_in_progress_.insert(in_progress_key);
+  proto::CallbackReq req;
+  req.fh = fh;
+  req.writeback = action.writeback;
+  req.invalidate = action.invalidate;
+  req.relinquish = action.relinquish;
+  auto reply = co_await peer_.Call(net::Address{action.host}, req, params_.callback_call);
+  callbacks_in_progress_.erase(in_progress_key);
+  callback_budget_.Release();
+  if (!reply.ok() || !reply->status.ok()) {
+    // "If the client 'serving' the callback is down, the SNFS server can
+    // honor the new open operation, but it should inform the new client
+    // that the file may be in an inconsistent state."
+    ++callbacks_failed_;
+    LOG_INFO("snfs", "callback to host %d failed (%s); marking file %llu inconsistent",
+             action.host, reply.ok() ? "error reply" : "timeout",
+             static_cast<unsigned long long>(fh.fileid));
+    table_.MarkInconsistent(fh, action.host);
+  } else if (action.writeback) {
+    table_.MarkFlushed(fh);
+  }
+}
+
+sim::Task<proto::Reply> SnfsServer::HandleOpen(const proto::OpenReq& req, net::Address from) {
+  if (in_recovery()) {
+    co_return proto::ErrorReply(base::ErrUnavailable());
+  }
+  auto attr = fs_.GetAttr(req.fh);
+  if (!attr.ok()) {
+    co_return proto::ErrorReply(attr.status());
+  }
+  sim::Mutex& lock = FileLock(req.fh);
+  co_await lock.Acquire();
+
+  uint64_t seed_version;
+  if (params_.version_mode == VersionMode::kStable) {
+    auto stable_version = fs_.Version(req.fh);
+    if (!stable_version.ok()) {
+      lock.Release();
+      co_return proto::ErrorReply(stable_version.status());
+    }
+    seed_version = *stable_version;
+  } else {
+    // Paper prototype: a file first seen (or seen again after its entry was
+    // reclaimed) gets a fresh number from the global counter, which will
+    // not match any client's cached version.
+    seed_version = table_.Lookup(req.fh) != nullptr ? 0 : ++global_version_counter_;
+  }
+  OpenResult outcome = table_.OnOpen(req.fh, from.host, req.write_mode, seed_version);
+  if (outcome.version_bumped && params_.version_mode == VersionMode::kStable) {
+    // Persist the new version with the file (Sprite keeps it on stable
+    // storage; §4.3.3 explains why the global-counter shortcut is unsound).
+    auto bumped = fs_.BumpVersion(req.fh);
+    CHECK(bumped.ok() && *bumped == outcome.version);
+  }
+  for (const CallbackAction& action : outcome.callbacks) {
+    co_await IssueCallback(req.fh, action);
+  }
+  // Refresh attrs: callbacks may have written data back to us.
+  attr = fs_.GetAttr(req.fh);
+  const StateTable::Entry* entry = table_.Lookup(req.fh);
+  bool inconsistent = entry != nullptr && entry->inconsistent;
+  lock.Release();
+
+  if (!attr.ok()) {
+    co_return proto::ErrorReply(attr.status());
+  }
+
+  if (table_.over_limit() && !reclaim_scheduled_) {
+    reclaim_scheduled_ = true;
+    simulator_.Spawn(ReclaimEntries());
+  }
+
+  proto::OpenRep rep;
+  rep.cache_enabled = outcome.cache_enabled;
+  rep.version = outcome.version;
+  rep.prev_version = outcome.prev_version;
+  rep.attr = *attr;
+  rep.possibly_inconsistent = inconsistent;
+  co_return proto::OkReply(rep);
+}
+
+sim::Task<proto::Reply> SnfsServer::HandleClose(const proto::CloseReq& req, net::Address from) {
+  sim::Mutex& lock = FileLock(req.fh);
+  co_await lock.Acquire();
+  CloseResult result = table_.OnClose(req.fh, from.host, req.write_mode, req.has_dirty);
+  lock.Release();
+  (void)result;
+  co_return proto::OkReply(proto::CloseRep{});
+}
+
+sim::Task<proto::Reply> SnfsServer::HandleReopen(const proto::ReopenReq& req, net::Address from) {
+  auto stable_version = fs_.Version(req.fh);
+  if (!stable_version.ok()) {
+    co_return proto::ErrorReply(stable_version.status());
+  }
+  sim::Mutex& lock = FileLock(req.fh);
+  co_await lock.Acquire();
+  OpenResult outcome = table_.ApplyReopen(req.fh, from.host, req.read_count, req.write_count,
+                                          req.has_dirty, req.cached_version, *stable_version);
+  lock.Release();
+  proto::ReopenRep rep;
+  rep.cache_enabled = outcome.cache_enabled;
+  rep.version = outcome.version;
+  co_return proto::OkReply(rep);
+}
+
+sim::Task<void> SnfsServer::ReclaimEntries() {
+  reclaim_scheduled_ = false;
+  std::vector<StateTable::ReclaimPlan> plans = table_.PlanReclaim();
+  for (const StateTable::ReclaimPlan& plan : plans) {
+    ++reclaims_;
+    sim::Mutex& lock = FileLock(plan.fh);
+    co_await lock.Acquire();
+    co_await IssueCallback(plan.fh, plan.callback);
+    const StateTable::Entry* entry = table_.Lookup(plan.fh);
+    if (entry != nullptr && entry->state == FileState::kClosed) {
+      table_.Forget(plan.fh);
+    }
+    lock.Release();
+  }
+}
+
+sim::Task<proto::Reply> SnfsServer::HandleData(const proto::Request& request, net::Address from) {
+  switch (proto::KindOf(request)) {
+    case proto::OpKind::kNull:
+      co_return proto::OkReply(proto::NullRep{});
+    case proto::OpKind::kGetAttr: {
+      const auto& req = std::get<proto::GetAttrReq>(request);
+      auto attr = fs_.GetAttr(req.fh);
+      if (!attr.ok()) {
+        co_return proto::ErrorReply(attr.status());
+      }
+      co_return proto::OkReply(proto::AttrRep{*attr});
+    }
+    case proto::OpKind::kSetAttr: {
+      const auto& req = std::get<proto::SetAttrReq>(request);
+      auto attr = co_await fs_.SetAttr(req.fh, req);
+      if (!attr.ok()) {
+        co_return proto::ErrorReply(attr.status());
+      }
+      co_return proto::OkReply(proto::AttrRep{*attr});
+    }
+    case proto::OpKind::kLookup: {
+      const auto& req = std::get<proto::LookupReq>(request);
+      co_return FromResult(co_await fs_.Lookup(req.dir, req.name));
+    }
+    case proto::OpKind::kRead: {
+      const auto& req = std::get<proto::ReadReq>(request);
+      co_return FromResult(co_await fs_.Read(req.fh, req.offset, req.count));
+    }
+    case proto::OpKind::kWrite: {
+      const auto& req = std::get<proto::WriteReq>(request);
+      // Client write-backs are synchronous with the disk at the server
+      // ("writes are always synchronous with the disk at the server").
+      auto attr = co_await fs_.Write(req.fh, req.offset, req.data, fs::LocalFs::WriteMode::kSync);
+      if (!attr.ok()) {
+        co_return proto::ErrorReply(attr.status());
+      }
+      co_return proto::OkReply(proto::AttrRep{*attr});
+    }
+    case proto::OpKind::kCreate: {
+      const auto& req = std::get<proto::CreateReq>(request);
+      co_return FromResult(co_await fs_.Create(req.dir, req.name, req.exclusive));
+    }
+    case proto::OpKind::kRemove: {
+      const auto& req = std::get<proto::RemoveReq>(request);
+      // Forget consistency state for the victim so stale write-backs from
+      // its last writer are rejected with ESTALE rather than resurrecting
+      // the file.
+      auto looked = co_await fs_.Lookup(req.dir, req.name);
+      if (looked.ok()) {
+        table_.Forget(looked->fh);
+      }
+      co_return FromStatus(co_await fs_.Remove(req.dir, req.name));
+    }
+    case proto::OpKind::kRename: {
+      const auto& req = std::get<proto::RenameReq>(request);
+      co_return FromStatus(
+          co_await fs_.Rename(req.from_dir, req.from_name, req.to_dir, req.to_name));
+    }
+    case proto::OpKind::kMkdir: {
+      const auto& req = std::get<proto::MkdirReq>(request);
+      co_return FromResult(co_await fs_.Mkdir(req.dir, req.name));
+    }
+    case proto::OpKind::kRmdir: {
+      const auto& req = std::get<proto::RmdirReq>(request);
+      co_return FromStatus(co_await fs_.Rmdir(req.dir, req.name));
+    }
+    case proto::OpKind::kReadDir: {
+      const auto& req = std::get<proto::ReadDirReq>(request);
+      co_return FromResult(co_await fs_.ReadDir(req.dir, req.cookie, req.count));
+    }
+    default:
+      co_return proto::ErrorReply(base::ErrNotSupported());
+  }
+}
+
+sim::Task<proto::Reply> SnfsServer::Handle(const proto::Request& request, net::Address from) {
+  switch (proto::KindOf(request)) {
+    case proto::OpKind::kOpen:
+      co_return co_await HandleOpen(std::get<proto::OpenReq>(request), from);
+    case proto::OpKind::kClose:
+      co_return co_await HandleClose(std::get<proto::CloseReq>(request), from);
+    case proto::OpKind::kReopen:
+      co_return co_await HandleReopen(std::get<proto::ReopenReq>(request), from);
+    case proto::OpKind::kPing: {
+      proto::PingRep rep;
+      rep.responder_epoch = epoch_;
+      rep.in_recovery = in_recovery();
+      co_return proto::OkReply(rep);
+    }
+    default:
+      co_return co_await HandleData(request, from);
+  }
+}
+
+}  // namespace snfs

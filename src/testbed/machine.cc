@@ -1,0 +1,125 @@
+#include "src/testbed/machine.h"
+
+#include "src/base/log.h"
+
+namespace testbed {
+
+ClientMachine::ClientMachine(sim::Simulator& simulator, net::Network& network, std::string name,
+                             ClientMachineParams params)
+    : simulator_(simulator), name_(std::move(name)), cpu_(simulator) {
+  peer_ = std::make_unique<rpc::Peer>(simulator, network, cpu_, name_, params.peer);
+  cache_ = std::make_unique<cache::BufferCache>(simulator, params.cache);
+  vfs_ = std::make_unique<vfs::Vfs>(simulator);
+  if (params.with_local_disk) {
+    disk_ = std::make_unique<disk::Disk>(simulator, params.disk);
+    local_fs_ = std::make_unique<fs::LocalFs>(simulator, *disk_, params.local_fs);
+  }
+  peer_->set_handler([this](const proto::Request& request, net::Address from) {
+    return HandleRequest(request, from);
+  });
+}
+
+sim::Task<proto::Reply> ClientMachine::HandleRequest(const proto::Request& request,
+                                                     net::Address from) {
+  // Client machines only serve the SNFS callback RPC (§4.2.2).
+  if (const auto* cb = std::get_if<proto::CallbackReq>(&request)) {
+    for (snfs::SnfsClient* client : snfs_clients_) {
+      if (client->Owns(cb->fh)) {
+        co_return co_await client->HandleCallback(*cb);
+      }
+    }
+    // No mount tracks the file (e.g. reclaimed after we dropped the node);
+    // nothing to write back or invalidate.
+    co_return proto::OkReply(proto::CallbackRep{});
+  }
+  co_return proto::ErrorReply(base::ErrNotSupported());
+}
+
+nfs::NfsClient& ClientMachine::MountNfs(const std::string& path, net::Address server,
+                                        proto::FileHandle root_fh,
+                                        nfs::NfsClientParams params) {
+  auto client =
+      std::make_unique<nfs::NfsClient>(simulator_, *peer_, server, root_fh, *cache_, params);
+  nfs::NfsClient& ref = *client;
+  vfs_->Mount(path, client.get());
+  mounts_.push_back(std::move(client));
+  return ref;
+}
+
+snfs::SnfsClient& ClientMachine::MountSnfs(const std::string& path, net::Address server,
+                                           proto::FileHandle root_fh,
+                                           snfs::SnfsClientParams params) {
+  auto client =
+      std::make_unique<snfs::SnfsClient>(simulator_, *peer_, server, root_fh, *cache_, params);
+  snfs::SnfsClient& ref = *client;
+  snfs_clients_.push_back(client.get());
+  vfs_->Mount(path, client.get());
+  mounts_.push_back(std::move(client));
+  if (started_) {
+    ref.Start();
+  }
+  return ref;
+}
+
+fs::LocalMount& ClientMachine::MountLocal(const std::string& path) {
+  CHECK(local_fs_ != nullptr);
+  auto mount = std::make_unique<fs::LocalMount>(simulator_, *local_fs_, *cache_, &cpu_);
+  fs::LocalMount& ref = *mount;
+  vfs_->Mount(path, mount.get());
+  mounts_.push_back(std::move(mount));
+  return ref;
+}
+
+void ClientMachine::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  peer_->Start();
+  cache_->Start();
+  for (snfs::SnfsClient* client : snfs_clients_) {
+    client->Start();
+  }
+}
+
+void ClientMachine::Crash(net::Network& network) {
+  network.SetHostUp(address(), false);
+  peer_->Shutdown();
+  for (snfs::SnfsClient* client : snfs_clients_) {
+    client->Stop();
+  }
+  cache_->Stop();
+  started_ = false;
+}
+
+ServerMachine::ServerMachine(sim::Simulator& simulator, net::Network& network, std::string name,
+                             ServerProtocol protocol, ServerMachineParams params)
+    : simulator_(simulator), name_(std::move(name)), cpu_(simulator), disk_(simulator, params.disk) {
+  fs_ = std::make_unique<fs::LocalFs>(simulator, disk_, params.fs);
+  peer_ = std::make_unique<rpc::Peer>(simulator, network, cpu_, name_, params.peer);
+  if (protocol == ServerProtocol::kNfs) {
+    nfs_server_ = std::make_unique<nfs::NfsServer>(*fs_, *peer_);
+  } else {
+    snfs_server_ = std::make_unique<snfs::SnfsServer>(simulator, *fs_, *peer_, params.snfs);
+  }
+}
+
+void ServerMachine::Start() { peer_->Start(); }
+
+void ServerMachine::Crash(net::Network& network) {
+  network.SetHostUp(address(), false);
+  peer_->Shutdown();
+  if (snfs_server_ != nullptr) {
+    snfs_server_->Crash();
+  }
+}
+
+void ServerMachine::Reboot(net::Network& network) {
+  network.SetHostUp(address(), true);
+  if (snfs_server_ != nullptr) {
+    snfs_server_->Restart();
+  }
+  peer_->Start();
+}
+
+}  // namespace testbed

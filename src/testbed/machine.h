@@ -1,0 +1,135 @@
+// Testbed: simulated machines wired onto a shared network.
+//
+// A ClientMachine bundles CPU, RPC endpoint, buffer cache, VFS, and an
+// optional local disk; helpers mount NFS/SNFS/local file systems and route
+// incoming SNFS callbacks to the right client by fsid. A ServerMachine
+// bundles CPU, disk, LocalFs, and either an NFS or SNFS server.
+//
+// Default parameters approximate the paper's testbed: Titan-class CPUs,
+// a 10 Mbit/s Ethernet, RA81-class disks, a 16 MB client cache and a
+// 3.5 MB server cache, 4 KB blocks.
+#ifndef SRC_TESTBED_MACHINE_H_
+#define SRC_TESTBED_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/disk/disk.h"
+#include "src/fs/local_fs.h"
+#include "src/fs/local_mount.h"
+#include "src/net/network.h"
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/rpc/peer.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/snfs/client.h"
+#include "src/snfs/server.h"
+#include "src/vfs/vfs.h"
+
+namespace testbed {
+
+struct ClientMachineParams {
+  rpc::PeerOptions peer;
+  cache::BufferCacheParams cache;        // 16 MB default
+  bool with_local_disk = true;
+  disk::DiskParams disk;
+  fs::LocalFsParams local_fs{.fsid = 9000, .cache_blocks = 0};
+};
+
+class ClientMachine {
+ public:
+  ClientMachine(sim::Simulator& simulator, net::Network& network, std::string name,
+                ClientMachineParams params = {});
+
+  ClientMachine(const ClientMachine&) = delete;
+  ClientMachine& operator=(const ClientMachine&) = delete;
+
+  // Mount helpers. Each returns the created client for metric access.
+  nfs::NfsClient& MountNfs(const std::string& path, net::Address server,
+                           proto::FileHandle root_fh, nfs::NfsClientParams params = {});
+  snfs::SnfsClient& MountSnfs(const std::string& path, net::Address server,
+                              proto::FileHandle root_fh, snfs::SnfsClientParams params = {});
+  fs::LocalMount& MountLocal(const std::string& path);
+
+  // Bring daemons up (RPC endpoint, sync daemon, SNFS client daemons).
+  void Start();
+  // Crash simulation: drop off the network and lose all cached state.
+  void Crash(net::Network& network);
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Cpu& cpu() { return cpu_; }
+  rpc::Peer& peer() { return *peer_; }
+  cache::BufferCache& buffer_cache() { return *cache_; }
+  vfs::Vfs& vfs() { return *vfs_; }
+  disk::Disk* local_disk() { return disk_.get(); }
+  fs::LocalFs* local_fs() { return local_fs_.get(); }
+  const std::string& name() const { return name_; }
+  net::Address address() const { return peer_->address(); }
+
+ private:
+  sim::Task<proto::Reply> HandleRequest(const proto::Request& request, net::Address from);
+
+  sim::Simulator& simulator_;
+  std::string name_;
+  sim::Cpu cpu_;
+  std::unique_ptr<rpc::Peer> peer_;
+  std::unique_ptr<cache::BufferCache> cache_;
+  std::unique_ptr<vfs::Vfs> vfs_;
+  std::unique_ptr<disk::Disk> disk_;
+  std::unique_ptr<fs::LocalFs> local_fs_;
+  std::vector<std::unique_ptr<vfs::FileSystem>> mounts_;
+  std::vector<snfs::SnfsClient*> snfs_clients_;
+  bool started_ = false;
+};
+
+enum class ServerProtocol { kNfs, kSnfs };
+
+struct ServerMachineParams {
+  rpc::PeerOptions peer;
+  disk::DiskParams disk;
+  fs::LocalFsParams fs{.fsid = 1, .cache_blocks = 896};  // 3.5 MB server cache
+  snfs::SnfsServerParams snfs;  // used when protocol == kSnfs
+};
+
+class ServerMachine {
+ public:
+  ServerMachine(sim::Simulator& simulator, net::Network& network, std::string name,
+                ServerProtocol protocol, ServerMachineParams params = {});
+
+  ServerMachine(const ServerMachine&) = delete;
+  ServerMachine& operator=(const ServerMachine&) = delete;
+
+  void Start();
+
+  // Crash + reboot support (SNFS recovery experiments).
+  void Crash(net::Network& network);
+  void Reboot(net::Network& network);
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Cpu& cpu() { return cpu_; }
+  rpc::Peer& peer() { return *peer_; }
+  disk::Disk& disk() { return disk_; }
+  fs::LocalFs& fs() { return *fs_; }
+  net::Address address() const { return peer_->address(); }
+  proto::FileHandle root() const { return fs_->root(); }
+  snfs::SnfsServer* snfs_server() { return snfs_server_.get(); }
+  nfs::NfsServer* nfs_server() { return nfs_server_.get(); }
+
+ private:
+  sim::Simulator& simulator_;
+  std::string name_;
+  sim::Cpu cpu_;
+  disk::Disk disk_;
+  std::unique_ptr<fs::LocalFs> fs_;
+  std::unique_ptr<rpc::Peer> peer_;
+  std::unique_ptr<nfs::NfsServer> nfs_server_;
+  std::unique_ptr<snfs::SnfsServer> snfs_server_;
+};
+
+}  // namespace testbed
+
+#endif  // SRC_TESTBED_MACHINE_H_

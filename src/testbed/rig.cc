@@ -1,0 +1,110 @@
+#include "src/testbed/rig.h"
+
+#include "src/base/log.h"
+
+namespace testbed {
+
+std::string_view ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kLocal:
+      return "local";
+    case Protocol::kNfs:
+      return "NFS";
+    case Protocol::kSnfs:
+      return "SNFS";
+  }
+  return "?";
+}
+
+Rig::Rig(RigOptions options)
+    : options_(options), network_(simulator_, options.network, /*seed=*/11) {
+  bool remote = options_.protocol != Protocol::kLocal;
+  if (remote) {
+    server_ = std::make_unique<ServerMachine>(
+        simulator_, network_, "server",
+        options_.protocol == Protocol::kNfs ? ServerProtocol::kNfs : ServerProtocol::kSnfs,
+        options_.server);
+  }
+  client_ = std::make_unique<ClientMachine>(simulator_, network_, "client", options_.client);
+
+  // Carve out the exported directories before wiring any mounts.
+  proto::FileHandle tmp_parent;
+  if (remote) {
+    simulator_.Spawn([](Rig& rig, proto::FileHandle* tmp_parent) -> sim::Task<void> {
+      fs::LocalFs& fs = rig.server_->fs();
+      auto data = co_await fs.Mkdir(fs.root(), "data");
+      CHECK(data.ok());
+      rig.data_parent_ = data->fh;
+      auto tmp = co_await fs.Mkdir(fs.root(), "tmp");
+      CHECK(tmp.ok());
+      *tmp_parent = tmp->fh;
+    }(*this, &tmp_parent));
+    simulator_.Run();
+  }
+
+  // /local: the client's own disk, always present.
+  client_->MountLocal(local_root_);
+
+  switch (options_.protocol) {
+    case Protocol::kLocal: {
+      client_->MountLocal(data_root_);
+      // In the local configuration /data and /local share the client disk;
+      // the data tree's parent is the local fs root.
+      data_parent_ = data_fs().root();
+      tmp_dir_ = "/local/tmp";
+      break;
+    }
+    case Protocol::kNfs: {
+      client_->MountNfs(data_root_, server_->address(), data_parent_, options_.nfs);
+      if (options_.remote_tmp) {
+        client_->MountNfs("/rtmp", server_->address(), tmp_parent, options_.nfs);
+        tmp_dir_ = "/rtmp";
+      } else {
+        tmp_dir_ = "/local/tmp";
+      }
+      break;
+    }
+    case Protocol::kSnfs: {
+      client_->MountSnfs(data_root_, server_->address(), data_parent_, options_.snfs);
+      if (options_.remote_tmp) {
+        client_->MountSnfs("/rtmp", server_->address(), tmp_parent, options_.snfs);
+        tmp_dir_ = "/rtmp";
+      } else {
+        tmp_dir_ = "/local/tmp";
+      }
+      break;
+    }
+  }
+
+  if (remote) {
+    server_->Start();
+  }
+  client_->Start();
+
+  // Create the local temp directory if the configuration uses one.
+  if (tmp_dir_ == "/local/tmp") {
+    simulator_.Spawn([](Rig& rig) -> sim::Task<void> {
+      auto made = co_await rig.client_->vfs().MkdirPath("/local/tmp");
+      CHECK(made.ok());
+    }(*this));
+    simulator_.Run();
+  }
+}
+
+fs::LocalFs& Rig::data_fs() {
+  if (options_.protocol == Protocol::kLocal) {
+    // The client's own disk hosts the data in the local configuration.
+    CHECK(client_->local_fs() != nullptr);
+    return *client_->local_fs();
+  }
+  return server_->fs();
+}
+
+disk::Disk& Rig::served_disk() {
+  if (options_.protocol == Protocol::kLocal) {
+    return *client_->local_disk();
+  }
+  return server_->disk();
+}
+
+}  // namespace testbed

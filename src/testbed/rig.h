@@ -1,0 +1,75 @@
+// Rig: one benchmark configuration — a client machine, optionally a file
+// server, and the mount layout the paper's tables vary:
+//
+//   kLocal      /data and the temp dir both on the client's local disk;
+//   kNfs/kSnfs  /data remote; temp dir either local or remote per
+//               `remote_tmp` ("one with just the data files remotely
+//               mounted but temporary files kept locally, and the last
+//               with both data and temporary files remotely mounted").
+//
+// The rig always provides /local (the client's own disk) for benchmark
+// inputs/outputs that are not under test.
+#ifndef SRC_TESTBED_RIG_H_
+#define SRC_TESTBED_RIG_H_
+
+#include <memory>
+#include <string>
+
+#include "src/testbed/machine.h"
+
+namespace testbed {
+
+enum class Protocol { kLocal, kNfs, kSnfs };
+
+std::string_view ProtocolName(Protocol protocol);
+
+struct RigOptions {
+  Protocol protocol = Protocol::kLocal;
+  bool remote_tmp = false;  // meaningful for kNfs / kSnfs
+  nfs::NfsClientParams nfs;
+  snfs::SnfsClientParams snfs;
+  ClientMachineParams client;
+  ServerMachineParams server;
+  net::NetworkParams network;
+};
+
+class Rig {
+ public:
+  explicit Rig(RigOptions options);
+
+  // Where benchmark data / temporaries should go.
+  const std::string& data_root() const { return data_root_; }    // "/data"
+  const std::string& tmp_dir() const { return tmp_dir_; }        // varies
+  const std::string& local_root() const { return local_root_; }  // "/local"
+
+  // The file system that holds /data (for out-of-band population) and the
+  // directory handle /data is mounted on.
+  fs::LocalFs& data_fs();
+  proto::FileHandle data_parent() const { return data_parent_; }
+
+  sim::Simulator& simulator() { return simulator_; }
+  ClientMachine& client() { return *client_; }
+  ServerMachine* server() { return server_.get(); }
+  net::Network& network() { return network_; }
+  const RigOptions& options() const { return options_; }
+
+  // RPC issued by the client (all zero in the local configuration).
+  const metrics::OpCounters& client_rpcs() const { return client_->peer().client_ops(); }
+  // Server disk counters (the client's own disk for kLocal).
+  disk::Disk& served_disk();
+
+ private:
+  RigOptions options_;
+  sim::Simulator simulator_;
+  net::Network network_;
+  std::unique_ptr<ServerMachine> server_;
+  std::unique_ptr<ClientMachine> client_;
+  std::string data_root_ = "/data";
+  std::string tmp_dir_;
+  std::string local_root_ = "/local";
+  proto::FileHandle data_parent_;
+};
+
+}  // namespace testbed
+
+#endif  // SRC_TESTBED_RIG_H_

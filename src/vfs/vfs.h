@@ -1,0 +1,168 @@
+// The GFS-style vnode layer: a file-system-independent syscall API.
+//
+// Vfs owns the mount table, per-process-style file descriptors, and
+// component-at-a-time path resolution (each component of a remote path
+// costs one lookup RPC — the paper observes "roughly half of the RPC calls
+// are file name lookups", and reproducing that ratio requires resolving
+// names the way Ultrix did).
+//
+// Each mounted file system implements the FileSystem interface with its own
+// Gnode subclass; gnodes are shared machine-wide per (mount, fileid), which
+// is what lets the SNFS client keep one per-file consistency state no
+// matter how many simulated processes have the file open.
+#ifndef SRC_VFS_VFS_H_
+#define SRC_VFS_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/proto/messages.h"
+#include "src/proto/types.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace vfs {
+
+// In-memory node, one per active file per mount (the Ultrix "gnode").
+// Protocol clients subclass this to hang their per-file state off it.
+class Gnode {
+ public:
+  virtual ~Gnode() = default;
+
+  proto::FileHandle fh;
+  proto::Attr attr;        // most recently known attributes
+  uint32_t open_reads = 0;   // local (this-machine) open counts
+  uint32_t open_writes = 0;
+};
+
+using GnodeRef = std::shared_ptr<Gnode>;
+
+struct OpenFlags {
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool exclusive = false;
+
+  static OpenFlags ReadOnly() { return {}; }
+  static OpenFlags WriteCreate() { return {.write = true, .create = true, .truncate = true}; }
+  static OpenFlags ReadWrite() { return {.write = true}; }
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual sim::Task<base::Result<GnodeRef>> Root() = 0;
+  virtual sim::Task<base::Result<GnodeRef>> Lookup(GnodeRef dir, const std::string& name) = 0;
+  virtual sim::Task<base::Result<GnodeRef>> Create(GnodeRef dir, const std::string& name,
+                                                   bool exclusive) = 0;
+  virtual sim::Task<base::Result<GnodeRef>> Mkdir(GnodeRef dir, const std::string& name) = 0;
+
+  // Consistency actions at open/close time (NFS: getattr probe / flush +
+  // possibly invalidate; SNFS: open / close RPCs).
+  virtual sim::Task<base::Result<void>> Open(GnodeRef node, bool write) = 0;
+  virtual sim::Task<base::Result<void>> Close(GnodeRef node, bool write) = 0;
+
+  virtual sim::Task<base::Result<std::vector<uint8_t>>> Read(GnodeRef node, uint64_t offset,
+                                                             uint32_t count) = 0;
+  virtual sim::Task<base::Result<void>> Write(GnodeRef node, uint64_t offset,
+                                              const std::vector<uint8_t>& data) = 0;
+
+  virtual sim::Task<base::Result<proto::Attr>> GetAttr(GnodeRef node) = 0;
+  virtual sim::Task<base::Result<void>> Truncate(GnodeRef node, uint64_t size) = 0;
+
+  // `target` is the already-resolved victim (namei resolves it on the way
+  // to the syscall); protocols use it to cancel delayed writes.
+  virtual sim::Task<base::Result<void>> Remove(GnodeRef dir, const std::string& name,
+                                               GnodeRef target) = 0;
+  virtual sim::Task<base::Result<void>> Rmdir(GnodeRef dir, const std::string& name) = 0;
+  virtual sim::Task<base::Result<void>> Rename(GnodeRef from_dir, const std::string& from_name,
+                                               GnodeRef to_dir, const std::string& to_name) = 0;
+  virtual sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(GnodeRef dir) = 0;
+
+  // Force dirty data to stable storage (fsync / explicit flush).
+  virtual sim::Task<base::Result<void>> Fsync(GnodeRef node) = 0;
+};
+
+class Vfs {
+ public:
+  explicit Vfs(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  // Mount `fs` at `path` ("/" or "/data" or "/usr/tmp", ...). Resolution
+  // picks the longest matching mount prefix, so nested mounts work.
+  void Mount(const std::string& path, FileSystem* fs);
+
+  // --- Unix-flavoured syscalls ----------------------------------------------
+  sim::Task<base::Result<int>> Open(const std::string& path, OpenFlags flags);
+  sim::Task<base::Result<void>> Close(int fd);
+  // Sequential read/write advancing the fd offset.
+  sim::Task<base::Result<std::vector<uint8_t>>> Read(int fd, uint32_t count);
+  sim::Task<base::Result<void>> Write(int fd, const std::vector<uint8_t>& data);
+  // Positional forms.
+  sim::Task<base::Result<std::vector<uint8_t>>> Pread(int fd, uint64_t offset, uint32_t count);
+  sim::Task<base::Result<void>> Pwrite(int fd, uint64_t offset, const std::vector<uint8_t>& data);
+  base::Result<uint64_t> Seek(int fd, uint64_t offset);
+  sim::Task<base::Result<proto::Attr>> Stat(const std::string& path);
+  sim::Task<base::Result<proto::Attr>> Fstat(int fd);
+  sim::Task<base::Result<void>> Unlink(const std::string& path);
+  sim::Task<base::Result<void>> MkdirPath(const std::string& path);
+  sim::Task<base::Result<void>> RmdirPath(const std::string& path);
+  sim::Task<base::Result<void>> Rename(const std::string& from, const std::string& to);
+  sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(const std::string& path);
+  sim::Task<base::Result<void>> Fsync(int fd);
+
+  // Convenience: read/write a whole file through open/loop/close, with the
+  // caller's preferred I/O chunk size (defaults to one block).
+  sim::Task<base::Result<std::vector<uint8_t>>> ReadFile(const std::string& path,
+                                                         uint32_t chunk = 4096);
+  sim::Task<base::Result<void>> WriteFile(const std::string& path,
+                                          const std::vector<uint8_t>& data, uint32_t chunk = 4096);
+
+  int open_fd_count() const { return static_cast<int>(fds_.size()); }
+
+ private:
+  struct MountPoint {
+    std::string prefix;  // normalized, no trailing slash except "/"
+    FileSystem* fs;
+  };
+  struct FdEntry {
+    FileSystem* fs = nullptr;
+    GnodeRef node;
+    uint64_t offset = 0;
+    bool write = false;
+  };
+  struct Resolved {
+    FileSystem* fs = nullptr;
+    GnodeRef node;
+  };
+  struct ResolvedParent {
+    FileSystem* fs = nullptr;
+    GnodeRef dir;
+    std::string leaf;
+  };
+
+  // Longest-prefix mount match; returns remaining components.
+  base::Result<MountPoint*> FindMount(const std::string& path, std::string* rest);
+  sim::Task<base::Result<Resolved>> ResolvePath(const std::string& path);
+  sim::Task<base::Result<ResolvedParent>> ResolveParent(const std::string& path);
+  base::Result<FdEntry*> GetFd(int fd);
+
+  static std::vector<std::string> SplitComponents(std::string_view path);
+
+  sim::Simulator& simulator_;
+  std::vector<MountPoint> mounts_;
+  std::unordered_map<int, FdEntry> fds_;
+  int next_fd_ = 3;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_VFS_H_

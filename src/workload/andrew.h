@@ -1,0 +1,86 @@
+// The Andrew benchmark (Howard et al. [2], as used in the paper's §5.2):
+// five phases over a source subtree — MakeDir, Copy, ScanDir, ReadAll, and
+// Make (a synthetic compile-and-link pass reproducing the I/O pattern of
+// the portable-compiler variant the paper used: read sources, repeatedly
+// reread popular headers, write and delete temporary files, write objects,
+// link).
+#ifndef SRC_WORKLOAD_ANDREW_H_
+#define SRC_WORKLOAD_ANDREW_H_
+
+#include <array>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/fs/local_fs.h"
+#include "src/sim/cpu.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/vfs/vfs.h"
+
+namespace workload {
+
+// Shape of the benchmark tree (the original: ~70 files, ~200 KB of source,
+// in a handful of directories).
+struct AndrewShape {
+  int dirs = 5;
+  int files_per_dir = 14;              // 70 source files total
+  uint32_t min_file_bytes = 800;
+  uint32_t max_file_bytes = 7200;      // mean ~2.9 KB -> ~200 KB total
+  int num_headers = 8;
+  uint32_t header_bytes = 2000;
+  int headers_per_compile = 5;         // popular headers reread per compile
+  // Compiler artifact sizing: the preprocessor temporary is roughly the
+  // source plus included headers scaled by expansion; the (portable,
+  // unoptimized) object code is several times the source.
+  double temp_multiplier = 1.5;
+  double object_multiplier = 4.0;
+  uint32_t object_base_bytes = 4096;
+  uint64_t seed = 1989;
+};
+
+// CPU model for the synthetic compiler (Titan-class, per §5.2 the Make
+// phase dominates the benchmark).
+struct AndrewCpuModel {
+  sim::Duration compile_base = sim::Msec(1500);   // cc/cpp/as process overhead
+  sim::Duration compile_per_kb = sim::Msec(90);   // per source KB
+  sim::Duration copy_per_file = sim::Msec(200);   // cp process overhead
+  sim::Duration link_base = sim::Msec(3000);
+  sim::Duration link_per_kb = sim::Msec(20);
+  sim::Duration scan_per_file = sim::Msec(15);    // stat-processing time
+  sim::Duration read_per_kb = sim::Msec(5);
+};
+
+struct AndrewConfig {
+  std::string src_root = "/data/src";      // pre-populated source subtree
+  std::string target_root = "/data/target";
+  std::string tmp_dir = "/tmp";            // compiler temporaries
+  AndrewShape shape;
+  AndrewCpuModel cpu;
+};
+
+enum class AndrewPhase { kMakeDir = 0, kCopy, kScanDir, kReadAll, kMake };
+inline constexpr int kNumAndrewPhases = 5;
+
+std::string_view AndrewPhaseName(AndrewPhase phase);
+
+struct AndrewReport {
+  std::array<sim::Duration, kNumAndrewPhases> phase_time{};
+  sim::Duration total = 0;
+  uint64_t files_compiled = 0;
+  uint64_t bytes_copied = 0;
+};
+
+// Build the benchmark's read-only source subtree (a "src" directory under
+// `parent`) directly in the (server or local) file system, bypassing the
+// protocols so population costs nothing.
+sim::Task<void> PopulateAndrewTree(fs::LocalFs& fs, proto::FileHandle parent,
+                                   const AndrewShape& shape);
+
+// Run all five phases through `vfs`, charging compute to `cpu`.
+sim::Task<base::Result<AndrewReport>> RunAndrew(sim::Simulator& simulator, vfs::Vfs& vfs,
+                                                sim::Cpu& cpu, const AndrewConfig& config);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_ANDREW_H_

@@ -1,0 +1,439 @@
+// Tests for LocalFs (the server-side Unix file system) and the LocalMount
+// configuration (LocalFs through the client buffer cache with delayed
+// writes), exercised through the VFS syscall layer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/disk/disk.h"
+#include "src/fs/local_fs.h"
+#include "src/fs/local_mount.h"
+#include "src/sim/simulator.h"
+#include "src/vfs/vfs.h"
+
+namespace fs {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+std::string Str(const std::vector<uint8_t>& v) { return {v.begin(), v.end()}; }
+
+std::vector<uint8_t> Pattern(size_t n, uint8_t seed = 7) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<uint8_t>(seed + i * 31 + (i >> 8));
+  }
+  return v;
+}
+
+// Run a coroutine to completion on a fresh simulator and require success.
+#define RUN_SIM(rig, body)                                   \
+  do {                                                       \
+    bool completed = false;                                  \
+    (rig).simulator.Spawn([](Rig& rig, bool& completed) -> sim::Task<void> body( \
+        (rig), completed));                                  \
+    (rig).simulator.Run();                                   \
+    EXPECT_TRUE(completed);                                  \
+  } while (0)
+
+struct Rig {
+  sim::Simulator simulator;
+  disk::Disk disk{simulator};
+  LocalFs fs{simulator, disk, LocalFsParams{.fsid = 1, .cache_blocks = 0}};
+  cache::BufferCache cache{simulator, cache::BufferCacheParams{}};
+  LocalMount mount{simulator, fs, cache, nullptr};
+  vfs::Vfs vfs{simulator};
+
+  Rig() {
+    vfs.Mount("/", &mount);
+    cache.Start();
+  }
+};
+
+TEST(LocalFsTest, CreateWriteReadRoundTrip) {
+  Rig rig;
+  RUN_SIM(rig, {
+    auto st = co_await rig.vfs.WriteFile("/hello.txt", Bytes("hello world"));
+    EXPECT_TRUE(st.ok());
+    auto data = co_await rig.vfs.ReadFile("/hello.txt");
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(Str(*data), "hello world");
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, LargeFileMultiBlockRoundTrip) {
+  Rig rig;
+  RUN_SIM(rig, {
+    std::vector<uint8_t> payload = Pattern(3 * kBlockSize + 123);
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/big", payload)).ok());
+    auto data = co_await rig.vfs.ReadFile("/big");
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(*data, payload);
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, LookupMissingFileFails) {
+  Rig rig;
+  RUN_SIM(rig, {
+    auto r = co_await rig.vfs.Open("/nope", vfs::OpenFlags::ReadOnly());
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status(), base::ErrNoEnt());
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, MkdirAndNestedFiles) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/a")).ok());
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/a/b")).ok());
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/a/b/f", Bytes("x"))).ok());
+    auto st = co_await rig.vfs.Stat("/a/b/f");
+    EXPECT_TRUE(st.ok());
+    if (st.ok()) {
+      EXPECT_EQ(st->size, 1u);
+      EXPECT_EQ(st->type, proto::FileType::kRegular);
+    }
+    auto dir = co_await rig.vfs.Stat("/a/b");
+    EXPECT_TRUE(dir.ok());
+    if (dir.ok()) {
+      EXPECT_EQ(dir->type, proto::FileType::kDirectory);
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, MkdirExistingFails) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/d")).ok());
+    auto again = co_await rig.vfs.MkdirPath("/d");
+    EXPECT_EQ(again.status(), base::ErrExist());
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, UnlinkRemovesAndStaleHandles) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", Bytes("data"))).ok());
+    EXPECT_TRUE((co_await rig.vfs.Unlink("/f")).ok());
+    auto r = co_await rig.vfs.Stat("/f");
+    EXPECT_EQ(r.status(), base::ErrNoEnt());
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, RmdirOnlyWhenEmpty) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/d")).ok());
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/d/f", Bytes("x"))).ok());
+    EXPECT_EQ((co_await rig.vfs.RmdirPath("/d")).status(), base::ErrNotEmpty());
+    EXPECT_TRUE((co_await rig.vfs.Unlink("/d/f")).ok());
+    EXPECT_TRUE((co_await rig.vfs.RmdirPath("/d")).ok());
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, RenameMovesFile) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/src")).ok());
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/dst")).ok());
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/src/f", Bytes("payload"))).ok());
+    // Flush so the data survives the cache's view of the old fileid path.
+    EXPECT_TRUE((co_await rig.vfs.Rename("/src/f", "/dst/g")).ok());
+    EXPECT_EQ((co_await rig.vfs.Stat("/src/f")).status(), base::ErrNoEnt());
+    auto data = co_await rig.vfs.ReadFile("/dst/g");
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(Str(*data), "payload");
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, ReadDirListsEntries) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.MkdirPath("/d")).ok());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE((co_await rig.vfs.WriteFile("/d/f" + std::to_string(i), Bytes("x"))).ok());
+    }
+    auto entries = co_await rig.vfs.ReadDir("/d");
+    EXPECT_TRUE(entries.ok());
+    if (entries.ok()) {
+      EXPECT_EQ(entries->size(), 100u);
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, TruncateOnReopenWithWriteCreate) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", Pattern(10000))).ok());
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", Bytes("tiny"))).ok());
+    auto data = co_await rig.vfs.ReadFile("/f");
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(Str(*data), "tiny");
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalFsTest, OverwriteMiddleOfFile) {
+  Rig rig;
+  RUN_SIM(rig, {
+    std::vector<uint8_t> payload = Pattern(2 * kBlockSize);
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", payload)).ok());
+    auto fd = co_await rig.vfs.Open("/f", vfs::OpenFlags::ReadWrite());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) {
+      co_return;
+    }
+    EXPECT_TRUE((co_await rig.vfs.Pwrite(*fd, 1000, Bytes("XYZ"))).ok());
+    EXPECT_TRUE((co_await rig.vfs.Close(*fd)).ok());
+    auto data = co_await rig.vfs.ReadFile("/f");
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(data->size(), payload.size());
+      EXPECT_EQ((*data)[999], payload[999]);
+      EXPECT_EQ((*data)[1000], 'X');
+      EXPECT_EQ((*data)[1002], 'Z');
+      EXPECT_EQ((*data)[1003], payload[1003]);
+    }
+    completed = true;
+  });
+}
+
+TEST(LocalMountTest, DelayedWritesReachDiskOnlyAfterSync) {
+  Rig rig;
+  RUN_SIM(rig, {
+    uint64_t writes_before = rig.disk.writes();
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", Pattern(8 * kBlockSize))).ok());
+    // Data writes are delayed; only metadata (create) hit the disk so far.
+    uint64_t after_write = rig.disk.writes();
+    EXPECT_LT(after_write - writes_before, 3u);
+    EXPECT_TRUE(rig.cache.HasDirty(rig.mount.mount_id(), 2));
+    completed = true;
+  });
+  // Let the 30 s sync daemon run.
+  rig.simulator.RunUntil(sim::Sec(65));
+  EXPECT_GE(rig.disk.writes(), 8u);
+  EXPECT_EQ(rig.cache.DirtyBlockCount(), 0u);
+}
+
+TEST(LocalMountTest, DeleteCancelsDelayedWrites) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/tmpfile", Pattern(10 * kBlockSize))).ok());
+    EXPECT_TRUE((co_await rig.vfs.Unlink("/tmpfile")).ok());
+    completed = true;
+  });
+  rig.simulator.RunUntil(sim::Sec(65));
+  // Data blocks never reached the disk; only metadata writes happened.
+  EXPECT_LT(rig.disk.writes(), 4u);
+  EXPECT_GE(rig.cache.stats().cancelled_writes, 10u);
+}
+
+TEST(LocalMountTest, FsyncForcesWriteback) {
+  Rig rig;
+  RUN_SIM(rig, {
+    auto fd = co_await rig.vfs.Open("/f", vfs::OpenFlags::WriteCreate());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) {
+      co_return;
+    }
+    EXPECT_TRUE((co_await rig.vfs.Write(*fd, Pattern(4 * kBlockSize))).ok());
+    uint64_t before = rig.disk.writes();
+    EXPECT_TRUE((co_await rig.vfs.Fsync(*fd)).ok());
+    EXPECT_GE(rig.disk.writes(), before + 4);
+    EXPECT_TRUE((co_await rig.vfs.Close(*fd)).ok());
+    completed = true;
+  });
+}
+
+TEST(LocalMountTest, ReadsHitCacheAfterFirstFetch) {
+  Rig rig;
+  RUN_SIM(rig, {
+    EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", Pattern(4 * kBlockSize))).ok());
+    (void)co_await rig.vfs.ReadFile("/f");
+    uint64_t reads_before = rig.disk.reads();
+    (void)co_await rig.vfs.ReadFile("/f");
+    EXPECT_EQ(rig.disk.reads(), reads_before);  // all hits
+    completed = true;
+  });
+}
+
+TEST(LocalMountTest, SequentialAndPositionalIo) {
+  Rig rig;
+  RUN_SIM(rig, {
+    auto fd = co_await rig.vfs.Open("/f", vfs::OpenFlags::WriteCreate());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) {
+      co_return;
+    }
+    EXPECT_TRUE((co_await rig.vfs.Write(*fd, Bytes("abc"))).ok());
+    EXPECT_TRUE((co_await rig.vfs.Write(*fd, Bytes("def"))).ok());
+    EXPECT_TRUE((co_await rig.vfs.Close(*fd)).ok());
+    auto fd2 = co_await rig.vfs.Open("/f", vfs::OpenFlags::ReadOnly());
+    EXPECT_TRUE(fd2.ok());
+    if (!fd2.ok()) {
+      co_return;
+    }
+    auto first = co_await rig.vfs.Read(*fd2, 2);
+    auto rest = co_await rig.vfs.Read(*fd2, 10);
+    EXPECT_TRUE(first.ok() && rest.ok());
+    if (first.ok() && rest.ok()) {
+      EXPECT_EQ(Str(*first), "ab");
+      EXPECT_EQ(Str(*rest), "cdef");
+    }
+    EXPECT_TRUE((co_await rig.vfs.Close(*fd2)).ok());
+    completed = true;
+  });
+}
+
+TEST(BufferCacheTest, LruEvictionBoundsSize) {
+  sim::Simulator simulator;
+  cache::BufferCacheParams params;
+  params.capacity_blocks = 8;
+  params.enable_sync_daemon = false;
+  cache::BufferCache cache(simulator, params);
+  cache::Backing backing;
+  int fetches = 0;
+  backing.fetch = [&fetches](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    ++fetches;
+    co_return std::vector<uint8_t>(cache::kBlockSize, 0xAB);
+  };
+  int stores = 0;
+  backing.store = [&stores](uint64_t, uint64_t,
+                            std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
+    ++stores;
+    co_return base::OkStatus();
+  };
+  int mount = cache.RegisterMount(std::move(backing));
+  bool completed = false;
+  simulator.Spawn([](cache::BufferCache& cache, int mount, bool& completed) -> sim::Task<void> {
+    for (uint64_t f = 0; f < 4; ++f) {
+      for (uint64_t b = 0; b < 8; ++b) {
+        auto r = co_await cache.Read(mount, f, b * cache::kBlockSize, cache::kBlockSize,
+                                     1 << 20, /*read_ahead=*/false);
+        EXPECT_TRUE(r.ok());
+      }
+    }
+    EXPECT_LE(cache.size_blocks(), 8u);
+    completed = true;
+  }(cache, mount, completed));
+  simulator.Run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(fetches, 32);
+  EXPECT_EQ(stores, 0);  // nothing dirty
+}
+
+TEST(BufferCacheTest, DirtyEvictionWritesBack) {
+  sim::Simulator simulator;
+  cache::BufferCacheParams params;
+  params.capacity_blocks = 4;
+  params.enable_sync_daemon = false;
+  cache::BufferCache cache(simulator, params);
+  cache::Backing backing;
+  int stores = 0;
+  backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    co_return std::vector<uint8_t>();
+  };
+  backing.store = [&stores](uint64_t, uint64_t,
+                            std::vector<uint8_t> data) -> sim::Task<base::Result<void>> {
+    ++stores;
+    EXPECT_EQ(data.size(), cache::kBlockSize);
+    co_return base::OkStatus();
+  };
+  int mount = cache.RegisterMount(std::move(backing));
+  bool completed = false;
+  simulator.Spawn([](cache::BufferCache& cache, int mount, bool& completed) -> sim::Task<void> {
+    std::vector<uint8_t> block(cache::kBlockSize, 1);
+    for (uint64_t b = 0; b < 10; ++b) {
+      EXPECT_TRUE(
+          (co_await cache.WriteDelayed(mount, 1, b * cache::kBlockSize, block, 0)).ok());
+    }
+    completed = true;
+  }(cache, mount, completed));
+  simulator.Run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(stores, 6);  // 10 dirtied, 4 still cached
+  EXPECT_LE(cache.size_blocks(), 4u);
+}
+
+TEST(BufferCacheTest, AgeBasedSyncOnlyWritesOldBlocks) {
+  sim::Simulator simulator;
+  cache::BufferCacheParams params;
+  params.capacity_blocks = 64;
+  params.sync_policy = cache::SyncPolicy::kAgeBased;
+  params.sync_interval = sim::Sec(5);
+  params.dirty_age = sim::Sec(30);
+  cache::BufferCache cache(simulator, params);
+  cache::Backing backing;
+  int stores = 0;
+  backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    co_return std::vector<uint8_t>();
+  };
+  backing.store = [&stores](uint64_t, uint64_t,
+                            std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
+    ++stores;
+    co_return base::OkStatus();
+  };
+  int mount = cache.RegisterMount(std::move(backing));
+  cache.Start();
+  simulator.Spawn([](cache::BufferCache& cache, int mount) -> sim::Task<void> {
+    std::vector<uint8_t> block(cache::kBlockSize, 1);
+    EXPECT_TRUE((co_await cache.WriteDelayed(mount, 1, 0, block, 0)).ok());
+  }(cache, mount));
+  simulator.RunUntil(sim::Sec(20));
+  EXPECT_EQ(stores, 0);  // not yet 30 s old
+  simulator.RunUntil(sim::Sec(40));
+  EXPECT_EQ(stores, 1);
+  cache.Stop();
+  simulator.RunUntil(sim::Sec(50));
+}
+
+TEST(BufferCacheTest, CancelDirtyDropsWithoutStore) {
+  sim::Simulator simulator;
+  cache::BufferCacheParams params;
+  params.enable_sync_daemon = false;
+  cache::BufferCache cache(simulator, params);
+  cache::Backing backing;
+  int stores = 0;
+  backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    co_return std::vector<uint8_t>();
+  };
+  backing.store = [&stores](uint64_t, uint64_t,
+                            std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
+    ++stores;
+    co_return base::OkStatus();
+  };
+  int mount = cache.RegisterMount(std::move(backing));
+  simulator.Spawn([](cache::BufferCache& cache, int mount) -> sim::Task<void> {
+    std::vector<uint8_t> block(cache::kBlockSize, 1);
+    for (uint64_t b = 0; b < 5; ++b) {
+      EXPECT_TRUE((co_await cache.WriteDelayed(mount, 9, b * cache::kBlockSize, block, 0)).ok());
+    }
+    EXPECT_TRUE(cache.HasDirty(mount, 9));
+    EXPECT_EQ(cache.CancelDirty(mount, 9), 5u);
+    EXPECT_FALSE(cache.HasDirty(mount, 9));
+    co_await cache.FlushAll();
+  }(cache, mount));
+  simulator.Run();
+  EXPECT_EQ(stores, 0);
+}
+
+}  // namespace
+}  // namespace fs

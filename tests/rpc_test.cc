@@ -1,0 +1,273 @@
+// Tests for the RPC layer: round trips, timeouts, retransmission under
+// packet loss, duplicate-request suppression, and bidirectional calls
+// (the callback pattern SNFS relies on).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/net/network.h"
+#include "src/proto/messages.h"
+#include "src/rpc/peer.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace rpc {
+namespace {
+
+struct Rig {
+  sim::Simulator simulator;
+  net::Network network;
+  sim::Cpu client_cpu{simulator};
+  sim::Cpu server_cpu{simulator};
+  Peer client;
+  Peer server;
+
+  explicit Rig(net::NetworkParams params = {}, PeerOptions server_opts = {})
+      : network(simulator, params, /*seed=*/42),
+        client(simulator, network, client_cpu, "client"),
+        server(simulator, network, server_cpu, "server", server_opts) {
+    client.Start();
+    server.Start();
+  }
+};
+
+proto::Request MakeLookup(const std::string& name) {
+  proto::LookupReq req;
+  req.dir = proto::FileHandle{1, 1, 0};
+  req.name = name;
+  return req;
+}
+
+TEST(RpcTest, BasicRoundTrip) {
+  Rig rig;
+  rig.server.set_handler(
+      [](const proto::Request& req, net::Address) -> sim::Task<proto::Reply> {
+        const auto& lookup = std::get<proto::LookupReq>(req);
+        proto::LookupRep rep;
+        rep.fh = proto::FileHandle{1, 99, 0};
+        rep.attr.fileid = 99;
+        rep.attr.size = lookup.name.size();
+        co_return proto::OkReply(rep);
+      });
+
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    auto reply = co_await rig.client.Call(rig.server.address(), MakeLookup("hello"));
+    auto body = Expect<proto::LookupRep>(std::move(reply));
+    EXPECT_TRUE(body.ok());
+    if (!body.ok()) {
+      co_return;
+    }
+    EXPECT_EQ(body->fh.fileid, 99u);
+    EXPECT_EQ(body->attr.size, 5u);
+    done = true;
+  }(rig, done));
+  rig.simulator.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.client.client_ops().Get(proto::OpKind::kLookup), 1u);
+  EXPECT_EQ(rig.server.server_ops().Get(proto::OpKind::kLookup), 1u);
+  EXPECT_GT(rig.simulator.Now(), 0);
+}
+
+TEST(RpcTest, ErrorStatusPropagates) {
+  Rig rig;
+  rig.server.set_handler([](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+    co_return proto::ErrorReply(base::ErrNoEnt());
+  });
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    auto body = Expect<proto::LookupRep>(
+        co_await rig.client.Call(rig.server.address(), MakeLookup("missing")));
+    EXPECT_FALSE(body.ok());
+    EXPECT_EQ(body.status(), base::ErrNoEnt());
+    done = true;
+  }(rig, done));
+  rig.simulator.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RpcTest, UnhandledPeerRejectsCalls) {
+  Rig rig;  // server has no handler
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    auto reply = co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) {
+      co_return;
+    }
+    EXPECT_EQ(reply->status, base::ErrNotSupported());
+    done = true;
+  }(rig, done));
+  rig.simulator.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RpcTest, RetransmitsUnderPacketLossAndSucceeds) {
+  net::NetworkParams params;
+  params.loss_rate = 0.3;
+  Rig rig(params);
+  int executions = 0;
+  rig.server.set_handler(
+      [&executions](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+        ++executions;
+        co_return proto::OkReply(proto::NullRep{});
+      });
+  int ok_count = 0;
+  constexpr int kCalls = 50;
+  for (int i = 0; i < kCalls; ++i) {
+    rig.simulator.Spawn([](Rig& rig, int& ok_count) -> sim::Task<void> {
+      CallOptions opts;
+      opts.timeout = sim::Msec(500);
+      opts.max_attempts = 10;
+      auto reply =
+          co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}), opts);
+      if (reply.ok() && reply->status.ok()) {
+        ++ok_count;
+      }
+    }(rig, ok_count));
+  }
+  rig.simulator.Run();
+  EXPECT_EQ(ok_count, kCalls);
+  EXPECT_GT(rig.client.retransmissions(), 0u);
+}
+
+TEST(RpcTest, DuplicateRequestsExecuteExactlyOnce) {
+  // Drop every reply-direction packet for a while by making the server slow
+  // instead: with loss, a retransmit can arrive while the original is still
+  // executing (dropped) or after it completed (cached reply). Either way the
+  // handler must run exactly once per XID.
+  net::NetworkParams params;
+  params.loss_rate = 0.4;
+  Rig rig(params);
+  int executions = 0;
+  rig.server.set_handler(
+      [&executions, &rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+        ++executions;
+        co_await sim::Sleep(rig.simulator, sim::Msec(200));
+        co_return proto::OkReply(proto::NullRep{});
+      });
+  int completed = 0;
+  constexpr int kCalls = 30;
+  for (int i = 0; i < kCalls; ++i) {
+    rig.simulator.Spawn([](Rig& rig, int& completed) -> sim::Task<void> {
+      CallOptions opts;
+      opts.timeout = sim::Msec(300);
+      opts.max_attempts = 20;
+      auto reply =
+          co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}), opts);
+      if (reply.ok() && reply->status.ok()) {
+        ++completed;
+      }
+    }(rig, completed));
+  }
+  rig.simulator.Run();
+  EXPECT_EQ(completed, kCalls);
+  // Exactly-once: the duplicate cache must have prevented re-execution.
+  EXPECT_EQ(executions, kCalls);
+  EXPECT_GT(rig.server.duplicates_suppressed(), 0u);
+}
+
+TEST(RpcTest, CallToDeadHostTimesOut) {
+  Rig rig;
+  rig.network.SetHostUp(rig.server.address(), false);
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    CallOptions opts;
+    opts.timeout = sim::Msec(100);
+    opts.max_attempts = 3;
+    auto reply =
+        co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}), opts);
+    EXPECT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status(), base::ErrTimedOut());
+    done = true;
+  }(rig, done));
+  rig.simulator.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RpcTest, ServerCanCallBackIntoClient) {
+  // The SNFS callback pattern: while serving a request from A, the server
+  // calls B (here: calls A itself) and awaits the result before replying.
+  Rig rig;
+  rig.client.set_handler([](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+    co_return proto::OkReply(proto::CallbackRep{});
+  });
+  rig.server.set_handler(
+      [&rig](const proto::Request&, net::Address from) -> sim::Task<proto::Reply> {
+        proto::CallbackReq cb;
+        cb.invalidate = true;
+        auto result = co_await rig.server.Call(from, proto::Request(cb));
+        EXPECT_TRUE(result.ok());
+        co_return proto::OkReply(proto::NullRep{});
+      });
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    auto reply = co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) {
+      co_return;
+    }
+    EXPECT_TRUE(reply->status.ok());
+    done = true;
+  }(rig, done));
+  rig.simulator.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.server.client_ops().Get(proto::OpKind::kCallback), 1u);
+}
+
+TEST(RpcTest, WorkerPoolBoundsConcurrency) {
+  PeerOptions opts;
+  opts.num_workers = 2;
+  Rig rig({}, opts);
+  int running = 0;
+  int peak = 0;
+  rig.server.set_handler(
+      [&](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+        ++running;
+        peak = std::max(peak, running);
+        co_await sim::Sleep(rig.simulator, sim::Msec(50));
+        --running;
+        co_return proto::OkReply(proto::NullRep{});
+      });
+  for (int i = 0; i < 8; ++i) {
+    rig.simulator.Spawn([](Rig& rig) -> sim::Task<void> {
+      (void)co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}));
+    }(rig));
+  }
+  rig.simulator.Run();
+  EXPECT_EQ(peak, 2);
+}
+
+TEST(RpcTest, WireSizeScalesWithPayload) {
+  proto::WriteReq small;
+  small.data.resize(100);
+  proto::WriteReq big;
+  big.data.resize(4096);
+  EXPECT_GT(proto::WireSize(proto::Request(big)), proto::WireSize(proto::Request(small)) + 3900);
+}
+
+TEST(RpcTest, ShutdownFailsPendingCalls) {
+  Rig rig;
+  rig.server.set_handler([&rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+    co_await sim::Sleep(rig.simulator, sim::Sec(100));
+    co_return proto::OkReply(proto::NullRep{});
+  });
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    auto reply = co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) {
+      co_return;
+    }
+    EXPECT_FALSE(reply->status.ok());
+    done = true;
+  }(rig, done));
+  rig.simulator.Schedule(sim::Msec(100), [&rig] { rig.client.Shutdown(); });
+  rig.simulator.RunUntil(sim::Sec(10));
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace rpc

@@ -1,0 +1,289 @@
+// Tests for the discrete-event simulation kernel: event ordering, coroutine
+// tasks, sleeps, futures, and sync primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/future.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(Msec(30), [&] { order.push_back(3); });
+  s.Schedule(Msec(10), [&] { order.push_back(1); });
+  s.Schedule(Msec(20), [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), Msec(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(Msec(5), [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator s;
+  Time inner_time = -1;
+  s.Schedule(Sec(1), [&] { s.Schedule(Sec(2), [&] { inner_time = s.Now(); }); });
+  s.Run();
+  EXPECT_EQ(inner_time, Sec(3));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.Schedule(Sec(1), [&] { ++fired; });
+  s.Schedule(Sec(5), [&] { ++fired; });
+  s.RunUntil(Sec(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), Sec(2));
+  s.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TaskTest, SpawnedTaskRunsAndSleeps) {
+  Simulator s;
+  Time woke = -1;
+  s.Spawn([](Simulator& sim, Time& woke) -> Task<void> {
+    co_await Sleep(sim, Msec(250));
+    woke = sim.Now();
+  }(s, woke));
+  s.Run();
+  EXPECT_EQ(woke, Msec(250));
+}
+
+Task<int> AddAfter(Simulator& s, int a, int b, Duration d) {
+  co_await Sleep(s, d);
+  co_return a + b;
+}
+
+TEST(TaskTest, AwaitedChildReturnsValue) {
+  Simulator s;
+  int result = 0;
+  s.Spawn([](Simulator& sim, int& result) -> Task<void> {
+    result = co_await AddAfter(sim, 2, 3, Msec(10));
+    result += co_await AddAfter(sim, 10, 20, Msec(10));
+  }(s, result));
+  s.Run();
+  EXPECT_EQ(result, 35);
+  EXPECT_EQ(s.Now(), Msec(20));
+}
+
+Task<int> DeepChain(Simulator& s, int depth) {
+  if (depth == 0) {
+    co_await Sleep(s, Usec(1));
+    co_return 0;
+  }
+  int below = co_await DeepChain(s, depth - 1);
+  co_return below + 1;
+}
+
+TEST(TaskTest, DeepAwaitChainsDoNotOverflow) {
+  Simulator s;
+  int result = -1;
+  s.Spawn([](Simulator& sim, int& result) -> Task<void> {
+    result = co_await DeepChain(sim, 5000);
+  }(s, result));
+  s.Run();
+  EXPECT_EQ(result, 5000);
+}
+
+TEST(FutureTest, AwaitAlreadySetFutureIsImmediate) {
+  Simulator s;
+  Promise<int> p(s);
+  p.Set(42);
+  int got = 0;
+  s.Spawn([](Promise<int> p, int& got) -> Task<void> {
+    got = co_await p.GetFuture();
+  }(p, got));
+  s.Run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(FutureTest, MultipleWaitersAllResume) {
+  Simulator s;
+  Promise<std::string> p(s);
+  std::vector<std::string> got;
+  for (int i = 0; i < 3; ++i) {
+    s.Spawn([](Promise<std::string> p, std::vector<std::string>& got) -> Task<void> {
+      got.push_back(co_await p.GetFuture());
+    }(p, got));
+  }
+  s.Schedule(Sec(1), [&] { p.Set("done"); });
+  s.Run();
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& v : got) {
+    EXPECT_EQ(v, "done");
+  }
+}
+
+TEST(FutureTest, TrySetIsIdempotent) {
+  Simulator s;
+  Promise<int> p(s);
+  EXPECT_TRUE(p.TrySet(1));
+  EXPECT_FALSE(p.TrySet(2));
+  int got = 0;
+  s.Spawn([](Promise<int> p, int& got) -> Task<void> { got = co_await p.GetFuture(); }(p, got));
+  s.Run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(MutexTest, MutualExclusionAndFifo) {
+  Simulator s;
+  Mutex m(s);
+  std::vector<int> order;
+  int in_critical = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.Spawn([](Simulator& sim, Mutex& m, std::vector<int>& order, int& in_critical,
+               int id) -> Task<void> {
+      co_await m.Acquire();
+      ++in_critical;
+      EXPECT_EQ(in_critical, 1);
+      co_await Sleep(sim, Msec(10));
+      order.push_back(id);
+      --in_critical;
+      m.Release();
+    }(s, m, order, in_critical, i));
+  }
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.Now(), Msec(40));
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulator s;
+  Semaphore sem(s, 2);
+  int running = 0;
+  int peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    s.Spawn([](Simulator& sim, Semaphore& sem, int& running, int& peak) -> Task<void> {
+      co_await sem.Acquire();
+      ++running;
+      peak = std::max(peak, running);
+      co_await Sleep(sim, Msec(10));
+      --running;
+      sem.Release();
+    }(s, sem, running, peak));
+  }
+  s.Run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(s.Now(), Msec(30));
+}
+
+TEST(WaitGroupTest, WaitsForAll) {
+  Simulator s;
+  WaitGroup wg(s);
+  Time done_at = -1;
+  for (int i = 1; i <= 3; ++i) {
+    wg.Add();
+    s.Spawn([](Simulator& sim, WaitGroup& wg, int i) -> Task<void> {
+      co_await Sleep(sim, Sec(i));
+      wg.Done();
+    }(s, wg, i));
+  }
+  s.Spawn([](Simulator& sim, WaitGroup& wg, Time& done_at) -> Task<void> {
+    co_await wg.Wait();
+    done_at = sim.Now();
+  }(s, wg, done_at));
+  s.Run();
+  EXPECT_EQ(done_at, Sec(3));
+}
+
+TEST(ChannelTest, SendRecvAcrossTasks) {
+  Simulator s;
+  Channel<int> ch(s);
+  std::vector<int> got;
+  s.Spawn([](Channel<int>& ch, std::vector<int>& got) -> Task<void> {
+    while (true) {
+      std::optional<int> v = co_await ch.Recv();
+      if (!v.has_value()) {
+        break;
+      }
+      got.push_back(*v);
+    }
+  }(ch, got));
+  s.Spawn([](Simulator& sim, Channel<int>& ch) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      ch.Send(i);
+      co_await Sleep(sim, Msec(1));
+    }
+    ch.Close();
+  }(s, ch));
+  s.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceivers) {
+  Simulator s;
+  Channel<int> ch(s);
+  bool got_nullopt = false;
+  s.Spawn([](Channel<int>& ch, bool& got_nullopt) -> Task<void> {
+    std::optional<int> v = co_await ch.Recv();
+    got_nullopt = !v.has_value();
+  }(ch, got_nullopt));
+  s.Schedule(Sec(1), [&] { ch.Close(); });
+  s.Run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(CpuTest, SerializesWorkAndAccountsBusyTime) {
+  Simulator s;
+  Cpu cpu(s);
+  for (int i = 0; i < 3; ++i) {
+    s.Spawn([](Cpu& cpu) -> Task<void> { co_await cpu.Run(Msec(100)); }(cpu));
+  }
+  s.Run();
+  EXPECT_EQ(s.Now(), Msec(300));
+  EXPECT_EQ(cpu.busy_time(), Msec(300));
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng a(99);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace sim
