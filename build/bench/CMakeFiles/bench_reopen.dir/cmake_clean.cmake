@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reopen.dir/bench_reopen.cc.o"
+  "CMakeFiles/bench_reopen.dir/bench_reopen.cc.o.d"
+  "bench_reopen"
+  "bench_reopen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reopen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

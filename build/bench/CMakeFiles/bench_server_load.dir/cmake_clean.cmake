@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_load.dir/bench_server_load.cc.o"
+  "CMakeFiles/bench_server_load.dir/bench_server_load.cc.o.d"
+  "bench_server_load"
+  "bench_server_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_nodelay.dir/bench_sort_nodelay.cc.o"
+  "CMakeFiles/bench_sort_nodelay.dir/bench_sort_nodelay.cc.o.d"
+  "bench_sort_nodelay"
+  "bench_sort_nodelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_nodelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/spritely_bench_util.dir/bench_util.cc.o.d"
+  "libspritely_bench_util.a"
+  "libspritely_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

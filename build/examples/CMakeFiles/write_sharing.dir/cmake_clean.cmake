@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_sharing.dir/write_sharing.cpp.o"
+  "CMakeFiles/write_sharing.dir/write_sharing.cpp.o.d"
+  "write_sharing"
+  "write_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

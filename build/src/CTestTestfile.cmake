@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("net")
+subdirs("proto")
+subdirs("rpc")
+subdirs("disk")
+subdirs("fs")
+subdirs("cache")
+subdirs("vfs")
+subdirs("nfs")
+subdirs("snfs")
+subdirs("testbed")
+subdirs("workload")
+subdirs("metrics")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_base.dir/log.cc.o"
+  "CMakeFiles/spritely_base.dir/log.cc.o.d"
+  "CMakeFiles/spritely_base.dir/status.cc.o"
+  "CMakeFiles/spritely_base.dir/status.cc.o.d"
+  "libspritely_base.a"
+  "libspritely_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_cache.dir/buffer_cache.cc.o"
+  "CMakeFiles/spritely_cache.dir/buffer_cache.cc.o.d"
+  "libspritely_cache.a"
+  "libspritely_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

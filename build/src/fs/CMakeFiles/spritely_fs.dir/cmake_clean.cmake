@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_fs.dir/local_fs.cc.o"
+  "CMakeFiles/spritely_fs.dir/local_fs.cc.o.d"
+  "CMakeFiles/spritely_fs.dir/local_mount.cc.o"
+  "CMakeFiles/spritely_fs.dir/local_mount.cc.o.d"
+  "libspritely_fs.a"
+  "libspritely_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

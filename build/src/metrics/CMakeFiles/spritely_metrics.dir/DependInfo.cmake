@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/table.cc" "src/metrics/CMakeFiles/spritely_metrics.dir/table.cc.o" "gcc" "src/metrics/CMakeFiles/spritely_metrics.dir/table.cc.o.d"
+  "/root/repo/src/metrics/time_series.cc" "src/metrics/CMakeFiles/spritely_metrics.dir/time_series.cc.o" "gcc" "src/metrics/CMakeFiles/spritely_metrics.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/spritely_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/spritely_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spritely_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_metrics.dir/table.cc.o"
+  "CMakeFiles/spritely_metrics.dir/table.cc.o.d"
+  "CMakeFiles/spritely_metrics.dir/time_series.cc.o"
+  "CMakeFiles/spritely_metrics.dir/time_series.cc.o.d"
+  "libspritely_metrics.a"
+  "libspritely_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_net.dir/network.cc.o"
+  "CMakeFiles/spritely_net.dir/network.cc.o.d"
+  "libspritely_net.a"
+  "libspritely_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_nfs.dir/client.cc.o"
+  "CMakeFiles/spritely_nfs.dir/client.cc.o.d"
+  "CMakeFiles/spritely_nfs.dir/server.cc.o"
+  "CMakeFiles/spritely_nfs.dir/server.cc.o.d"
+  "libspritely_nfs.a"
+  "libspritely_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_proto.dir/messages.cc.o"
+  "CMakeFiles/spritely_proto.dir/messages.cc.o.d"
+  "libspritely_proto.a"
+  "libspritely_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_rpc.dir/peer.cc.o"
+  "CMakeFiles/spritely_rpc.dir/peer.cc.o.d"
+  "libspritely_rpc.a"
+  "libspritely_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_sim.dir/simulator.cc.o"
+  "CMakeFiles/spritely_sim.dir/simulator.cc.o.d"
+  "libspritely_sim.a"
+  "libspritely_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspritely_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_snfs.dir/client.cc.o"
+  "CMakeFiles/spritely_snfs.dir/client.cc.o.d"
+  "CMakeFiles/spritely_snfs.dir/hybrid.cc.o"
+  "CMakeFiles/spritely_snfs.dir/hybrid.cc.o.d"
+  "CMakeFiles/spritely_snfs.dir/server.cc.o"
+  "CMakeFiles/spritely_snfs.dir/server.cc.o.d"
+  "CMakeFiles/spritely_snfs.dir/state_table.cc.o"
+  "CMakeFiles/spritely_snfs.dir/state_table.cc.o.d"
+  "libspritely_snfs.a"
+  "libspritely_snfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_snfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_testbed.dir/machine.cc.o"
+  "CMakeFiles/spritely_testbed.dir/machine.cc.o.d"
+  "CMakeFiles/spritely_testbed.dir/rig.cc.o"
+  "CMakeFiles/spritely_testbed.dir/rig.cc.o.d"
+  "libspritely_testbed.a"
+  "libspritely_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

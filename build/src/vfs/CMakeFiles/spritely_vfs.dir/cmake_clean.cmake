@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_vfs.dir/vfs.cc.o"
+  "CMakeFiles/spritely_vfs.dir/vfs.cc.o.d"
+  "libspritely_vfs.a"
+  "libspritely_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

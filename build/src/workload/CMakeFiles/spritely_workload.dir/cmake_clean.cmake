@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spritely_workload.dir/andrew.cc.o"
+  "CMakeFiles/spritely_workload.dir/andrew.cc.o.d"
+  "CMakeFiles/spritely_workload.dir/sort.cc.o"
+  "CMakeFiles/spritely_workload.dir/sort.cc.o.d"
+  "libspritely_workload.a"
+  "libspritely_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spritely_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

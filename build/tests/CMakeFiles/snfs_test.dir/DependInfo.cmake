@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/snfs_test.cc" "tests/CMakeFiles/snfs_test.dir/snfs_test.cc.o" "gcc" "tests/CMakeFiles/snfs_test.dir/snfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/spritely_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/spritely_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/snfs/CMakeFiles/spritely_snfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/spritely_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spritely_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/spritely_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spritely_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/spritely_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spritely_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/spritely_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/spritely_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spritely_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spritely_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snfs_test.dir/snfs_test.cc.o"
+  "CMakeFiles/snfs_test.dir/snfs_test.cc.o.d"
+  "snfs_test"
+  "snfs_test.pdb"
+  "snfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_table_test.dir/state_table_test.cc.o"
+  "CMakeFiles/state_table_test.dir/state_table_test.cc.o.d"
+  "state_table_test"
+  "state_table_test.pdb"
+  "state_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

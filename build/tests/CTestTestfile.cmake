@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/state_table_test[1]_include.cmake")
+include("/root/repo/build/tests/nfs_test[1]_include.cmake")
+include("/root/repo/build/tests/snfs_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
