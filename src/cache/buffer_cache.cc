@@ -26,7 +26,13 @@ int BufferCache::RegisterMount(Backing backing) {
 }
 
 void BufferCache::Start() {
-  if (running_ || !params_.enable_sync_daemon) {
+  if (!params_.enable_sync_daemon) {
+    return;
+  }
+  if (running_) {
+    // Restart racing the previous daemon's exit: cancel the pending stop so
+    // the surviving daemon simply keeps running.
+    stop_requested_ = false;
     return;
   }
   running_ = true;
@@ -466,6 +472,12 @@ uint64_t BufferCache::CancelDirty(int mount, uint64_t fileid) {
   }
   stats_.cancelled_writes += blocks.size();
   return blocks.size();
+}
+
+void BufferCache::DropAll() {
+  entries_.clear();
+  lru_.clear();
+  dirty_blocks_.clear();
 }
 
 bool BufferCache::HasDirty(int mount, uint64_t fileid) const {

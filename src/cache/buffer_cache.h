@@ -132,6 +132,11 @@ class BufferCache {
   // Returns the number of writes averted.
   uint64_t CancelDirty(int mount, uint64_t fileid);
 
+  // Crash simulation: every cached block, clean or dirty, vanishes with the
+  // kernel. Write-backs already in flight keep their bookkeeping; their
+  // coroutines run to completion against the backing store and clean up.
+  void DropAll();
+
   bool HasDirty(int mount, uint64_t fileid) const;
   size_t DirtyBlockCount() const;
   size_t size_blocks() const { return entries_.size(); }

@@ -1,0 +1,49 @@
+#include "src/fault/plan.h"
+
+namespace fault {
+
+FaultDecision FaultInjector::OnSend(int src, int dst, sim::Time now) {
+  FaultDecision decision;
+  for (const Partition& p : plan_.partitions) {
+    if (p.Active(src, dst, now)) {
+      ++partition_drops_;
+      decision.drop = true;
+      return decision;
+    }
+  }
+
+  double loss = plan_.loss;
+  double duplicate = plan_.duplicate;
+  sim::Duration jitter = plan_.reorder_jitter;
+  for (const LinkFaults& link : plan_.links) {
+    if (link.Matches(src, dst)) {
+      loss = link.loss;
+      duplicate = link.duplicate;
+      jitter = link.reorder_jitter;
+      break;
+    }
+  }
+
+  if (loss > 0 && rng_.Bernoulli(loss)) {
+    ++drops_;
+    decision.drop = true;
+    return decision;
+  }
+  if (jitter > 0) {
+    decision.extra_delay = rng_.UniformInt(0, jitter);
+    if (decision.extra_delay > 0) {
+      ++delayed_;
+    }
+  }
+  if (duplicate > 0 && rng_.Bernoulli(duplicate)) {
+    ++duplicates_;
+    decision.duplicate = true;
+    // The copy trails the original so duplicates also exercise reordering;
+    // with zero jitter it arrives one latency quantum later.
+    decision.dup_extra_delay =
+        jitter > 0 ? rng_.UniformInt(1, jitter) : sim::Usec(100);
+  }
+  return decision;
+}
+
+}  // namespace fault

@@ -1,0 +1,107 @@
+// Deterministic fault injection for the simulated network (ROADMAP:
+// "handles as many scenarios as you can imagine").
+//
+// A FaultPlan is a declarative description of link-level misbehaviour:
+// seeded per-link loss, packet duplication, bounded reordering (extra
+// delivery jitter), and host-pair partitions with scheduled heal times.
+// The Network consults a FaultInjector built from the plan on every Send;
+// a null plan leaves the zero-fault fast path untouched, byte-identical
+// to a network built without one.
+//
+// Determinism: the injector owns its own Rng (seeded from the plan), so
+// enabling faults never perturbs the Network's pre-existing loss stream,
+// and the same (plan, workload) pair replays the same fault sequence.
+#ifndef SRC_FAULT_PLAN_H_
+#define SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace fault {
+
+inline constexpr sim::Time kNever = std::numeric_limits<sim::Time>::max();
+
+// Faults applied to packets from `src` to `dst`; -1 is a wildcard matching
+// any host. The first matching rule wins; packets matching no rule use the
+// plan-wide defaults.
+struct LinkFaults {
+  int src = -1;
+  int dst = -1;
+  double loss = 0.0;                 // per-packet drop probability
+  double duplicate = 0.0;            // per-packet duplication probability
+  sim::Duration reorder_jitter = 0;  // extra delay, uniform in [0, jitter]
+
+  bool Matches(int s, int d) const {
+    return (src == -1 || src == s) && (dst == -1 || dst == d);
+  }
+};
+
+// Both directions between host_a and host_b are cut while
+// start <= now < heal; -1 is a wildcard (partition a host from everyone).
+struct Partition {
+  int host_a = -1;
+  int host_b = -1;
+  sim::Time start = 0;
+  sim::Time heal = kNever;
+
+  bool Active(int s, int d, sim::Time now) const {
+    if (now < start || now >= heal) {
+      return false;
+    }
+    bool fwd = (host_a == -1 || host_a == s) && (host_b == -1 || host_b == d);
+    bool rev = (host_a == -1 || host_a == d) && (host_b == -1 || host_b == s);
+    return fwd || rev;
+  }
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Plan-wide defaults, overridable per link.
+  double loss = 0.0;
+  double duplicate = 0.0;
+  sim::Duration reorder_jitter = 0;
+  std::vector<LinkFaults> links;
+  std::vector<Partition> partitions;
+
+  bool enabled() const {
+    return loss > 0 || duplicate > 0 || reorder_jitter > 0 || !links.empty() ||
+           !partitions.empty();
+  }
+};
+
+// The verdict for one packet. A dropped packet is never delivered; a
+// duplicated one is delivered twice, the copy after an extra jitter delay.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  sim::Duration extra_delay = 0;      // reordering: added to the delivery delay
+  sim::Duration dup_extra_delay = 0;  // added again for the duplicate copy
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  FaultDecision OnSend(int src, int dst, sim::Time now);
+
+  uint64_t drops() const { return drops_; }
+  uint64_t partition_drops() const { return partition_drops_; }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t delayed() const { return delayed_; }
+
+ private:
+  const FaultPlan plan_;
+  sim::Rng rng_;
+  uint64_t drops_ = 0;
+  uint64_t partition_drops_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t delayed_ = 0;
+};
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_PLAN_H_

@@ -1,0 +1,63 @@
+// FaultSchedule: a declarative script of crash/restart points for the
+// machines in a testbed, at exact simulated times. The schedule itself is
+// pure data (so it can live below the testbed in the dependency graph);
+// testbed::Rig and the fault sweep driver interpret it against real
+// machines, including "crash mid-RPC-handler" via rpc::Peer's worker hook.
+#ifndef SRC_FAULT_SCHEDULE_H_
+#define SRC_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace fault {
+
+enum class FaultEventKind : uint8_t {
+  kCrashServer,           // server host down, peer shutdown, state lost
+  kRebootServer,          // server host up, epoch bump, recovery grace
+  kCrashClient,           // client host down, daemons stopped
+  kRestartClient,         // client host up, daemons restarted
+  kCrashServerInHandler,  // crash the server from inside the next RPC
+                          // handler dispatched at/after `at` (worker hook)
+};
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultEventKind kind = FaultEventKind::kCrashServer;
+  int client = 0;  // which client machine, for the client events
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  // Builder-style helpers so schedules read as scripts:
+  //   FaultSchedule s;
+  //   s.CrashServerAt(sim::Sec(3)).RebootServerAt(sim::Sec(5));
+  FaultSchedule& CrashServerAt(sim::Time at) {
+    events.push_back({at, FaultEventKind::kCrashServer, 0});
+    return *this;
+  }
+  FaultSchedule& RebootServerAt(sim::Time at) {
+    events.push_back({at, FaultEventKind::kRebootServer, 0});
+    return *this;
+  }
+  FaultSchedule& CrashClientAt(sim::Time at, int client = 0) {
+    events.push_back({at, FaultEventKind::kCrashClient, client});
+    return *this;
+  }
+  FaultSchedule& RestartClientAt(sim::Time at, int client = 0) {
+    events.push_back({at, FaultEventKind::kRestartClient, client});
+    return *this;
+  }
+  FaultSchedule& CrashServerInHandlerAt(sim::Time at) {
+    events.push_back({at, FaultEventKind::kCrashServerInHandler, 0});
+    return *this;
+  }
+
+  bool empty() const { return events.empty(); }
+};
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_SCHEDULE_H_

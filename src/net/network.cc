@@ -41,6 +41,27 @@ void Network::Send(Packet packet) {
   sim::Duration serialization =
       static_cast<sim::Duration>(static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps * 1e6);
   sim::Duration delay = params_.latency + serialization;
+
+  if (injector_ != nullptr) {
+    fault::FaultDecision d =
+        injector_->OnSend(packet.src.host, packet.dst.host, simulator_.Now());
+    if (d.drop) {
+      ++packets_dropped_;
+      LOG_DEBUG("net", "fault-dropped packet %d->%d (%u bytes)", packet.src.host,
+                packet.dst.host, bytes);
+      return;
+    }
+    delay += d.extra_delay;
+    if (d.duplicate) {
+      ++packets_duplicated_;
+      Deliver(packet, delay + d.dup_extra_delay);  // the copy trails the original
+    }
+  }
+
+  Deliver(std::move(packet), delay);
+}
+
+void Network::Deliver(Packet packet, sim::Duration delay) {
   int dst = packet.dst.host;
   simulator_.Schedule(delay, [this, dst, p = std::move(packet)]() mutable {
     // Re-check liveness at delivery time: the receiver may have crashed

@@ -6,6 +6,12 @@
 // The model is an unswitched 10 Mbit/s Ethernet by default (the paper's
 // testbed); shared-medium contention is not modeled because the benchmark
 // load never approaches saturation.
+//
+// Fault injection: NetworkParams::faults optionally names a fault::FaultPlan
+// (seeded per-link loss, duplication, bounded reordering, partitions with
+// heal times). Without a plan the Send path is byte-identical to a network
+// built before fault injection existed — no extra random draws, no extra
+// scheduling — so calibrated benchmark numbers do not move.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
@@ -13,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/plan.h"
 #include "src/proto/messages.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -37,12 +44,19 @@ struct NetworkParams {
   sim::Duration latency = sim::Usec(200);      // propagation + interface
   double bandwidth_bps = 10e6;                 // 10 Mbit/s Ethernet
   double loss_rate = 0.0;                      // per-packet drop probability
+  // Optional deterministic fault plan (loss, duplication, reordering,
+  // partitions); null or a disabled plan leaves the fast path untouched.
+  std::shared_ptr<const fault::FaultPlan> faults;
 };
 
 class Network {
  public:
   Network(sim::Simulator& simulator, NetworkParams params, uint64_t seed = 1)
-      : simulator_(simulator), params_(params), rng_(seed) {}
+      : simulator_(simulator), params_(params), rng_(seed) {
+    if (params_.faults != nullptr && params_.faults->enabled()) {
+      injector_ = std::make_unique<fault::FaultInjector>(*params_.faults);
+    }
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -64,6 +78,10 @@ class Network {
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t packets_duplicated() const { return packets_duplicated_; }
+
+  // Null when no fault plan is active.
+  const fault::FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   struct Host {
@@ -71,13 +89,17 @@ class Network {
     bool up = true;
   };
 
+  void Deliver(Packet packet, sim::Duration delay);
+
   sim::Simulator& simulator_;
   NetworkParams params_;
   sim::Rng rng_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<Host> hosts_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t packets_duplicated_ = 0;
 };
 
 }  // namespace net

@@ -41,10 +41,13 @@ void Peer::Shutdown() {
   }
   running_ = false;
   work_queue_->Close();
-  // Fail out any calls still waiting for replies.
+  // Fail out any calls still waiting for replies, and forget them: a late
+  // reply that straggles in after a restart must not resolve a promise from
+  // the previous incarnation, and the map must not leak across crash cycles.
   for (auto& [xid, promise] : pending_) {
     promise.TrySet(proto::ErrorReply(base::ErrUnavailable()));
   }
+  pending_.clear();
 }
 
 sim::Duration Peer::PayloadCost(uint32_t wire_bytes) const {
@@ -61,7 +64,12 @@ sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Reques
 
 sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Request request,
                                                  CallOptions options) {
-  CHECK(running_);
+  if (!running_) {
+    // Calls issued on a crashed (not yet restarted) host fail fast rather
+    // than aborting: fault schedules can crash a machine out from under a
+    // workload coroutine that is about to issue an RPC.
+    co_return base::ErrUnavailable();
+  }
   uint64_t xid = next_xid_++;
   client_ops_.Add(proto::KindOf(request));
 
@@ -146,16 +154,22 @@ void Peer::HandleIncomingRequest(net::Packet packet) {
   }
   dup_cache_.emplace(key, DupEntry{});
   dup_order_.push_back(key);
-  while (dup_order_.size() > options_.dup_cache_entries) {
-    DupKey victim = dup_order_.front();
-    dup_order_.pop_front();
-    auto vit = dup_cache_.find(victim);
-    if (vit != dup_cache_.end() && vit->second.done) {
-      dup_cache_.erase(vit);
-    } else {
-      dup_order_.push_back(victim);  // never evict in-progress entries
-      break;
+  // Evict oldest-first, skipping in-progress entries *in place*: rotating
+  // them to the back would scramble FIFO order and, worse, stop eviction
+  // entirely while any entry is in flight, letting the cache grow without
+  // bound. The deque can only hold more than dup_cache_entries keys while
+  // the excess is all in-progress (bounded by the worker pool + queue).
+  for (auto it = dup_order_.begin();
+       dup_cache_.size() > options_.dup_cache_entries && it != dup_order_.end();) {
+    auto vit = dup_cache_.find(*it);
+    if (vit != dup_cache_.end() && !vit->second.done) {
+      ++it;  // in flight: keep it, and keep its place in line
+      continue;
     }
+    if (vit != dup_cache_.end()) {
+      dup_cache_.erase(vit);
+    }
+    it = dup_order_.erase(it);
   }
   work_queue_->Send(Incoming{packet.src, packet.envelope.xid, std::move(packet.envelope.request)});
 }
@@ -166,8 +180,16 @@ sim::Task<void> Peer::Worker(uint64_t generation) {
     if (!incoming.has_value() || generation != pool_generation_) {
       co_return;
     }
+    if (worker_hook_) {
+      worker_hook_(WorkerEvent{WorkerEvent::Phase::kBeforeHandler, incoming->xid,
+                               incoming->from.host, &incoming->request});
+    }
     uint32_t wire = proto::WireSize(incoming->request);
     co_await cpu_.Run(options_.costs.server_per_call + PayloadCost(wire));
+    if (generation != pool_generation_) {
+      // Crashed before the handler ran: the request died with the kernel.
+      co_return;
+    }
 
     proto::Reply reply;
     if (handler_) {
@@ -175,6 +197,22 @@ sim::Task<void> Peer::Worker(uint64_t generation) {
       reply = co_await handler_(incoming->request, incoming->from);
     } else {
       reply = proto::ErrorReply(base::ErrNotSupported());
+    }
+    if (worker_hook_) {
+      worker_hook_(WorkerEvent{WorkerEvent::Phase::kAfterHandler, incoming->xid,
+                               incoming->from.host, &incoming->request});
+    }
+    if (generation != pool_generation_) {
+      // The server crashed (and possibly restarted) while the handler was
+      // running. The reply reflects pre-crash state: sending it would be a
+      // ghost reply from a dead generation, and recording it would poison
+      // the *new* generation's duplicate cache under the same key as the
+      // client's retransmission. Drop both.
+      ++stale_replies_dropped_;
+      LOG_DEBUG("rpc", "%s dropped stale reply xid=%llu gen=%llu", name_.c_str(),
+                static_cast<unsigned long long>(incoming->xid),
+                static_cast<unsigned long long>(generation));
+      co_return;
     }
 
     DupKey key{incoming->from.host, incoming->xid};

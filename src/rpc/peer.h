@@ -55,10 +55,23 @@ struct PeerOptions {
   size_t dup_cache_entries = 1024;
 };
 
+// Observation points inside the server worker loop, used by the fault
+// harness to script "crash mid-RPC-handler": a kBeforeHandler hook can
+// schedule (or synchronously trigger) a crash that lands while the handler
+// coroutine is still running.
+struct WorkerEvent {
+  enum class Phase { kBeforeHandler, kAfterHandler };
+  Phase phase;
+  uint64_t xid = 0;
+  int from_host = -1;
+  const proto::Request* request = nullptr;
+};
+
 class Peer {
  public:
   using Handler =
       std::function<sim::Task<proto::Reply>(const proto::Request&, net::Address from)>;
+  using WorkerHook = std::function<void(const WorkerEvent&)>;
 
   Peer(sim::Simulator& simulator, net::Network& network, sim::Cpu& cpu, std::string name,
        PeerOptions options = {});
@@ -72,6 +85,10 @@ class Peer {
   // Server role: install the request handler. May be left unset on pure
   // clients; requests then get kNotSupported replies.
   void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  // Fault-injection hook: observe worker dispatches (before the handler
+  // starts and after it returns). Unset in production configurations.
+  void set_worker_hook(WorkerHook hook) { worker_hook_ = std::move(hook); }
 
   // Spawn the receive loop and worker pool.
   void Start();
@@ -95,6 +112,24 @@ class Peer {
 
   uint64_t retransmissions() const { return retransmissions_; }
   uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  // Replies a worker finished computing after its generation died (server
+  // crash/restart mid-handler) and therefore discarded.
+  uint64_t stale_replies_dropped() const { return stale_replies_dropped_; }
+
+  // Introspection for the fault harness and regression tests.
+  size_t dup_cache_size() const { return dup_cache_.size(); }
+  size_t dup_cache_in_progress() const {
+    size_t n = 0;
+    for (const auto& [key, entry] : dup_cache_) {
+      if (!entry.done) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  size_t pending_calls() const { return pending_.size(); }
+  uint64_t generation() const { return pool_generation_; }
+  bool running() const { return running_; }
 
   sim::Cpu& cpu() { return cpu_; }
 
@@ -133,6 +168,7 @@ class Peer {
   PeerOptions options_;
   net::Address address_;
   Handler handler_;
+  WorkerHook worker_hook_;
   bool running_ = false;
   bool receive_loop_spawned_ = false;
   uint64_t pool_generation_ = 0;
@@ -148,6 +184,7 @@ class Peer {
   metrics::OpCounters server_ops_;
   uint64_t retransmissions_ = 0;
   uint64_t duplicates_suppressed_ = 0;
+  uint64_t stale_replies_dropped_ = 0;
 };
 
 // Helper to unwrap a typed reply body from a generic Reply.

@@ -58,15 +58,21 @@ void SnfsClient::Start() {
     return;
   }
   running_ = true;
+  ++daemon_generation_;
   if (params_.delayed_close) {
-    simulator_.Spawn(DelayedCloseDaemon());
+    simulator_.Spawn(DelayedCloseDaemon(daemon_generation_));
   }
   if (params_.enable_recovery) {
-    simulator_.Spawn(KeepaliveDaemon());
+    simulator_.Spawn(KeepaliveDaemon(daemon_generation_));
   }
 }
 
 void SnfsClient::Stop() { running_ = false; }
+
+void SnfsClient::Reset() {
+  nodes_.clear();
+  last_seen_epoch_ = 0;
+}
 
 SnfsClient::NodeRef SnfsClient::AsNode(const vfs::GnodeRef& node) {
   return std::static_pointer_cast<SnfsNode>(node);
@@ -209,10 +215,10 @@ sim::Task<base::Result<void>> SnfsClient::Close(vfs::GnodeRef gnode, bool write)
   co_return base::OkStatus();
 }
 
-sim::Task<void> SnfsClient::DelayedCloseDaemon() {
-  while (running_) {
+sim::Task<void> SnfsClient::DelayedCloseDaemon(uint64_t generation) {
+  while (running_ && generation == daemon_generation_) {
     co_await sim::Sleep(simulator_, params_.delayed_close_scan, /*background=*/true);
-    if (!running_) {
+    if (!running_ || generation != daemon_generation_) {
       break;
     }
     sim::Time cutoff = simulator_.Now() - params_.delayed_close_timeout;
@@ -263,7 +269,7 @@ sim::Task<proto::Reply> SnfsClient::HandleCallback(const proto::CallbackReq& req
 
 // --- recovery -----------------------------------------------------------------
 
-sim::Task<void> SnfsClient::KeepaliveDaemon() {
+sim::Task<void> SnfsClient::KeepaliveDaemon(uint64_t generation) {
   // First ping runs immediately to establish the epoch baseline; then the
   // loop settles into the keepalive cadence.
   bool suspected_down = false;
@@ -271,17 +277,20 @@ sim::Task<void> SnfsClient::KeepaliveDaemon() {
   rpc::CallOptions ping_opts;
   ping_opts.timeout = sim::Sec(2);
   ping_opts.max_attempts = 2;
-  while (running_) {
+  while (running_ && generation == daemon_generation_) {
     if (!first) {
       co_await sim::Sleep(simulator_, params_.keepalive_interval, /*background=*/true);
     }
     first = false;
-    if (!running_) {
+    if (!running_ || generation != daemon_generation_) {
       break;
     }
     proto::PingReq req;
     req.sender_epoch = 1;
     auto rep = rpc::Expect<proto::PingRep>(co_await peer_.Call(server_, req, ping_opts));
+    if (!running_ || generation != daemon_generation_) {
+      co_return;  // the client crashed while the ping was in flight
+    }
     if (!rep.ok()) {
       // Missed keepalive: the server may have crashed (or the network
       // partitioned); recover once it answers again.

@@ -55,6 +55,11 @@ class SnfsClient : public vfs::FileSystem {
   void Start();
   void Stop();
 
+  // Crash simulation: the client kernel's per-file state (cached-data
+  // flags, versions, open counts the server was told about) dies with the
+  // machine. The buffer cache is dropped separately by the machine.
+  void Reset();
+
   // True when this mount instance tracks the file (used by the machine's
   // callback dispatcher when several mounts come from the same server).
   bool Owns(const proto::FileHandle& fh) const {
@@ -115,8 +120,8 @@ class SnfsClient : public vfs::FileSystem {
   sim::Task<base::Result<void>> SendOpen(NodeRef node, bool write);
   sim::Task<void> SendClose(NodeRef node, bool write);
   sim::Task<void> FlushOwedCloses(NodeRef node);
-  sim::Task<void> DelayedCloseDaemon();
-  sim::Task<void> KeepaliveDaemon();
+  sim::Task<void> DelayedCloseDaemon(uint64_t generation);
+  sim::Task<void> KeepaliveDaemon(uint64_t generation);
   sim::Task<void> RunRecovery();
 
   uint32_t OwedReads(const SnfsNode& node) const {
@@ -134,6 +139,9 @@ class SnfsClient : public vfs::FileSystem {
   SnfsClientParams params_;
   int mount_id_;
   bool running_ = false;
+  // Bumped on every Start: daemons from a previous incarnation observe the
+  // change and exit instead of running alongside their replacements.
+  uint64_t daemon_generation_ = 0;
   uint64_t last_seen_epoch_ = 0;
   std::unordered_map<uint64_t, NodeRef> nodes_;
   uint64_t callbacks_served_ = 0;

@@ -1,0 +1,28 @@
+// Interprets a fault::FaultSchedule against real testbed machines: crash
+// and reboot the server, crash and restart clients, and — via rpc::Peer's
+// worker hook — crash the server from inside an RPC handler dispatch, the
+// adversarial timing that exercises the ghost-reply and duplicate-cache
+// paths in the recovery machinery.
+#ifndef SRC_TESTBED_FAULT_RUNNER_H_
+#define SRC_TESTBED_FAULT_RUNNER_H_
+
+#include <vector>
+
+#include "src/fault/schedule.h"
+#include "src/testbed/machine.h"
+
+namespace testbed {
+
+// Schedules every event in `schedule` on `simulator`. Client events index
+// into `clients`; server events require `server` != null. Events whose
+// target does not exist are ignored. kCrashServerInHandler installs a
+// worker hook on the server's peer (replacing any previous hook): the
+// first handler dispatch at or after the event time triggers a crash that
+// lands mid-dispatch, while the handler coroutine is in flight.
+void ApplyFaultSchedule(sim::Simulator& simulator, net::Network& network,
+                        ServerMachine* server, std::vector<ClientMachine*> clients,
+                        const fault::FaultSchedule& schedule);
+
+}  // namespace testbed
+
+#endif  // SRC_TESTBED_FAULT_RUNNER_H_

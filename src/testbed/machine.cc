@@ -87,9 +87,16 @@ void ClientMachine::Crash(net::Network& network) {
   peer_->Shutdown();
   for (snfs::SnfsClient* client : snfs_clients_) {
     client->Stop();
+    client->Reset();
   }
   cache_->Stop();
+  cache_->DropAll();  // cached blocks, clean and dirty, die with the kernel
   started_ = false;
+}
+
+void ClientMachine::Restart(net::Network& network) {
+  network.SetHostUp(address(), true);
+  Start();
 }
 
 ServerMachine::ServerMachine(sim::Simulator& simulator, net::Network& network, std::string name,

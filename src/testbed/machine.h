@@ -59,6 +59,9 @@ class ClientMachine {
   void Start();
   // Crash simulation: drop off the network and lose all cached state.
   void Crash(net::Network& network);
+  // Bring a crashed client back: rejoin the network and restart daemons
+  // (the caches start cold; SNFS recovery re-asserts state with the server).
+  void Restart(net::Network& network);
 
   sim::Simulator& simulator() { return simulator_; }
   sim::Cpu& cpu() { return cpu_; }
@@ -69,6 +72,7 @@ class ClientMachine {
   fs::LocalFs* local_fs() { return local_fs_.get(); }
   const std::string& name() const { return name_; }
   net::Address address() const { return peer_->address(); }
+  bool started() const { return started_; }
 
  private:
   sim::Task<proto::Reply> HandleRequest(const proto::Request& request, net::Address from);

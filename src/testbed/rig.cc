@@ -1,6 +1,7 @@
 #include "src/testbed/rig.h"
 
 #include "src/base/log.h"
+#include "src/testbed/fault_runner.h"
 
 namespace testbed {
 
@@ -80,6 +81,10 @@ Rig::Rig(RigOptions options)
     server_->Start();
   }
   client_->Start();
+
+  if (!options_.faults.empty()) {
+    ApplyFaultSchedule(simulator_, network_, server_.get(), {client_.get()}, options_.faults);
+  }
 
   // Create the local temp directory if the configuration uses one.
   if (tmp_dir_ == "/local/tmp") {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "src/fault/schedule.h"
 #include "src/testbed/machine.h"
 
 namespace testbed {
@@ -30,7 +31,10 @@ struct RigOptions {
   snfs::SnfsClientParams snfs;
   ClientMachineParams client;
   ServerMachineParams server;
-  net::NetworkParams network;
+  net::NetworkParams network;  // network.faults enables link-fault injection
+  // Scripted crash/restart points, applied when the rig is built. Ignored
+  // for machines the configuration does not have (no server under kLocal).
+  fault::FaultSchedule faults;
 };
 
 class Rig {

@@ -3,6 +3,9 @@
 // grace period, and client-crash handling.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/fault/plan.h"
 #include "src/snfs/client.h"
 #include "src/snfs/server.h"
 #include "tests/testbed_util.h"
@@ -21,7 +24,8 @@ struct RecoveryWorld : World {
   SnfsClient* fsa = nullptr;
   SnfsClient* fsb = nullptr;
 
-  RecoveryWorld() : World(ServerProtocol::kSnfs, 2, ServerParams()) {
+  explicit RecoveryWorld(net::NetworkParams net_params = {})
+      : World(ServerProtocol::kSnfs, 2, ServerParams(), {}, net_params) {
     SnfsClientParams cp;
     cp.enable_recovery = true;
     cp.keepalive_interval = sim::Sec(10);
@@ -169,6 +173,62 @@ TEST(RecoveryTest, ClientCrashLosesDirtyDataButServerRecovers) {
   }(w, done));
   w.simulator.RunUntil(sim::Sec(600));
   EXPECT_TRUE(done);
+}
+
+TEST(RecoveryTest, RebootRecoveryCompletesOnLossyReorderingNetwork) {
+  // The full reboot-detection + reopen flow of ServerRebootIsDetectedAnd-
+  // StateRebuilt, but with a seeded fault plan losing, duplicating, and
+  // reordering packets throughout. Retransmission + the duplicate cache
+  // must carry the recovery protocol (keepalives, reopens, write-backs)
+  // through unchanged.
+  net::NetworkParams net_params;
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = 31;
+  plan->loss = 0.05;
+  plan->duplicate = 0.05;
+  plan->reorder_jitter = sim::Msec(2);
+  net_params.faults = plan;
+  RecoveryWorld w(net_params);
+
+  bool done = false;
+  w.simulator.Spawn([](RecoveryWorld& w, bool& done) -> sim::Task<void> {
+    vfs::Vfs& a = w.client(0).vfs();
+    auto fd = co_await a.Open("/data/f", vfs::OpenFlags::WriteCreate());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) {
+      co_return;
+    }
+    EXPECT_TRUE((co_await a.Write(*fd, TestPattern(2 * cache::kBlockSize))).ok());
+
+    w.server->Crash(w.network);
+    co_await sim::Sleep(w.simulator, sim::Sec(3));
+    w.server->Reboot(w.network);
+
+    // Reboot detection + reopen happen under loss; allow extra slack for
+    // retransmission backoff.
+    co_await sim::Sleep(w.simulator, sim::Sec(40));
+    EXPECT_GE(w.fsa->recoveries_run(), 1u);
+    proto::FileHandle fh{w.server->fs().fsid(), 2, 0};
+    const StateTable::Entry* entry = w.table().Lookup(fh);
+    EXPECT_NE(entry, nullptr);
+    if (entry != nullptr) {
+      EXPECT_EQ(entry->state, FileState::kOneWriter);
+    }
+
+    EXPECT_TRUE((co_await a.Fsync(*fd)).ok());
+    EXPECT_TRUE((co_await a.Close(*fd)).ok());
+    auto got = co_await w.client(1).vfs().ReadFile("/data/f");
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(*got, TestPattern(2 * cache::kBlockSize));
+    }
+    done = true;
+  }(w, done));
+  w.simulator.RunUntil(sim::Sec(600));
+  EXPECT_TRUE(done);
+  // The fault plan actually bit.
+  EXPECT_GT(w.network.packets_dropped(), 0u);
+  EXPECT_GT(w.network.packets_duplicated(), 0u);
 }
 
 TEST(RecoveryTest, WriteSharedStateIsRebuiltFromMultipleClients) {

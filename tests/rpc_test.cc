@@ -269,5 +269,113 @@ TEST(RpcTest, ShutdownFailsPendingCalls) {
   EXPECT_TRUE(done);
 }
 
+TEST(RpcTest, GhostRepliesFromDeadGenerationAreDropped) {
+  // A quick shutdown+restart while a handler is mid-flight: the old
+  // generation's worker finishes *after* the restart. Its reply reflects
+  // pre-crash state and must be dropped, not sent — and must not be
+  // recorded in the new generation's duplicate cache, where it would mask
+  // the retransmitted request's re-execution.
+  Rig rig;
+  int executions = 0;
+  rig.server.set_handler(
+      [&executions, &rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+        int n = ++executions;
+        co_await sim::Sleep(rig.simulator, sim::Msec(100));
+        proto::LookupRep rep;
+        rep.attr.size = static_cast<uint64_t>(n);
+        co_return proto::OkReply(rep);
+      });
+
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    CallOptions opts;
+    opts.timeout = sim::Msec(80);
+    opts.max_attempts = 5;
+    auto body = Expect<proto::LookupRep>(
+        co_await rig.client.Call(rig.server.address(), MakeLookup("f"), opts));
+    EXPECT_TRUE(body.ok());
+    if (body.ok()) {
+      // The reply must come from the post-restart execution, not the ghost.
+      EXPECT_EQ(body->attr.size, 2u);
+    }
+    done = true;
+  }(rig, done));
+  // The host is never marked down in the network, so the ghost reply WOULD
+  // be delivered if the worker sent it.
+  rig.simulator.Schedule(sim::Msec(50), [&rig] { rig.server.Shutdown(); });
+  rig.simulator.Schedule(sim::Msec(60), [&rig] { rig.server.Start(); });
+  rig.simulator.RunUntil(sim::Sec(10));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(executions, 2);
+  EXPECT_EQ(rig.server.stale_replies_dropped(), 1u);
+}
+
+TEST(RpcTest, ShutdownClearsPendingCallsImmediately) {
+  // Shutdown must forget in-flight calls synchronously: a reply that
+  // straggles in after a restart must find no promise from the previous
+  // incarnation, and repeated crash cycles must not grow the map.
+  Rig rig;
+  rig.server.set_handler([&rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+    co_await sim::Sleep(rig.simulator, sim::Sec(100));
+    co_return proto::OkReply(proto::NullRep{});
+  });
+  rig.simulator.Spawn([](Rig& rig) -> sim::Task<void> {
+    (void)co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}));
+  }(rig));
+  rig.simulator.Schedule(sim::Msec(100), [&rig] {
+    EXPECT_EQ(rig.client.pending_calls(), 1u);
+    rig.client.Shutdown();
+    EXPECT_EQ(rig.client.pending_calls(), 0u);
+  });
+  rig.simulator.RunUntil(sim::Sec(1));
+}
+
+TEST(RpcTest, DupCacheEvictionIsBoundedWithInProgressEntries) {
+  // Six workers park forever on their first requests; a stream of quick
+  // calls then flows through a 4-entry duplicate cache. Eviction must skip
+  // the in-progress entries in place: the cache may exceed its capacity
+  // only by the number of in-progress entries, no matter how the parked
+  // entries interleave with completed ones in FIFO order.
+  PeerOptions server_opts;
+  server_opts.num_workers = 8;  // 6 get parked; 2 stay free for quick calls
+  server_opts.dup_cache_entries = 4;
+  Rig rig({}, server_opts);
+  rig.server.set_handler(
+      [&rig](const proto::Request& req, net::Address) -> sim::Task<proto::Reply> {
+        if (std::holds_alternative<proto::NullReq>(req)) {
+          co_await sim::Sleep(rig.simulator, sim::Sec(5000));  // park
+        }
+        co_return proto::OkReply(proto::NullRep{});
+      });
+
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    CallOptions park_opts;
+    park_opts.timeout = sim::Sec(30);
+    park_opts.max_attempts = 1;
+    for (int i = 0; i < 6; ++i) {
+      // Fire-and-forget: these occupy all six workers.
+      rig.simulator.Spawn([](Rig& rig, CallOptions opts) -> sim::Task<void> {
+        (void)co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}),
+                                       opts);
+      }(rig, park_opts));
+    }
+    co_await sim::Sleep(rig.simulator, sim::Msec(50));
+    for (int i = 0; i < 20; ++i) {
+      auto reply = co_await rig.client.Call(rig.server.address(), MakeLookup("q"));
+      EXPECT_TRUE(reply.ok());
+      size_t size = rig.server.dup_cache_size();
+      size_t in_progress = rig.server.dup_cache_in_progress();
+      EXPECT_LE(size, 4u + in_progress)
+          << "dup cache over bound after call " << i << ": " << size << " entries, "
+          << in_progress << " in progress";
+    }
+    done = true;
+  }(rig, done));
+  rig.simulator.RunUntil(sim::Sec(20));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.server.dup_cache_in_progress(), 6u);
+}
+
 }  // namespace
 }  // namespace rpc
