@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the sanitizer pass for the fault harness.
+# Tier-1 verification plus static analysis and the sanitizer pass.
 #
 #  1. ROADMAP tier-1: configure, build, run the full test suite.
-#  2. ASan/UBSan: rebuild under -fsanitize=address,undefined (the `asan`
+#  2. snfslint: the repo's own static-analysis pass (tools/lint) — coroutine
+#     lifetime, dropped tasks, determinism, and status-discipline rules.
+#  3. clang-tidy (if installed): generic bug-pattern checks per .clang-tidy,
+#     driven by the exported compile_commands.json.
+#  4. ASan/UBSan: rebuild under -fsanitize=address,undefined (the `asan`
 #     CMake preset) and run fault_injection_test — the crash/restart and
 #     fault-injection paths are where lifetime bugs (coroutines outliving
 #     peers, use-after-free on restart) would hide.
@@ -13,6 +17,17 @@ echo "== tier-1: build + full test suite =="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo "== snfslint: simulator-aware static analysis =="
+./build/tools/lint/snfslint --root . src
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy: generic bug patterns =="
+  mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+  clang-tidy -p build --quiet "${tidy_sources[@]}"
+else
+  echo "== clang-tidy not installed; skipping =="
+fi
 
 echo "== sanitizers: ASan/UBSan on the fault harness =="
 cmake --preset asan

@@ -36,12 +36,12 @@ std::string_view CodeName(Code code);
 // A lightweight status word: an error code only, no message allocation.
 // Simulation-scale error handling never needs dynamic messages; callers that
 // want context attach it at the logging site.
-class Status {
+class [[nodiscard]] Status {
  public:
   constexpr Status() : code_(Code::kOk) {}
   constexpr explicit Status(Code code) : code_(code) {}
 
-  static constexpr Status Ok() { return Status(); }
+  [[nodiscard]] static constexpr Status Ok() { return Status(); }
 
   constexpr bool ok() const { return code_ == Code::kOk; }
   constexpr Code code() const { return code_; }
@@ -54,23 +54,23 @@ class Status {
   Code code_;
 };
 
-constexpr Status OkStatus() { return Status(); }
-constexpr Status ErrNoEnt() { return Status(Code::kNoEnt); }
-constexpr Status ErrExist() { return Status(Code::kExist); }
-constexpr Status ErrIsDir() { return Status(Code::kIsDir); }
-constexpr Status ErrNotDir() { return Status(Code::kNotDir); }
-constexpr Status ErrNotEmpty() { return Status(Code::kNotEmpty); }
-constexpr Status ErrAccess() { return Status(Code::kAccess); }
-constexpr Status ErrNoSpace() { return Status(Code::kNoSpace); }
-constexpr Status ErrInval() { return Status(Code::kInval); }
-constexpr Status ErrBadFd() { return Status(Code::kBadFd); }
-constexpr Status ErrStale() { return Status(Code::kStale); }
-constexpr Status ErrTimedOut() { return Status(Code::kTimedOut); }
-constexpr Status ErrIo() { return Status(Code::kIo); }
-constexpr Status ErrBusy() { return Status(Code::kBusy); }
-constexpr Status ErrNotSupported() { return Status(Code::kNotSupported); }
-constexpr Status ErrUnavailable() { return Status(Code::kUnavailable); }
-constexpr Status ErrInconsistent() { return Status(Code::kInconsistent); }
+[[nodiscard]] constexpr Status OkStatus() { return Status(); }
+[[nodiscard]] constexpr Status ErrNoEnt() { return Status(Code::kNoEnt); }
+[[nodiscard]] constexpr Status ErrExist() { return Status(Code::kExist); }
+[[nodiscard]] constexpr Status ErrIsDir() { return Status(Code::kIsDir); }
+[[nodiscard]] constexpr Status ErrNotDir() { return Status(Code::kNotDir); }
+[[nodiscard]] constexpr Status ErrNotEmpty() { return Status(Code::kNotEmpty); }
+[[nodiscard]] constexpr Status ErrAccess() { return Status(Code::kAccess); }
+[[nodiscard]] constexpr Status ErrNoSpace() { return Status(Code::kNoSpace); }
+[[nodiscard]] constexpr Status ErrInval() { return Status(Code::kInval); }
+[[nodiscard]] constexpr Status ErrBadFd() { return Status(Code::kBadFd); }
+[[nodiscard]] constexpr Status ErrStale() { return Status(Code::kStale); }
+[[nodiscard]] constexpr Status ErrTimedOut() { return Status(Code::kTimedOut); }
+[[nodiscard]] constexpr Status ErrIo() { return Status(Code::kIo); }
+[[nodiscard]] constexpr Status ErrBusy() { return Status(Code::kBusy); }
+[[nodiscard]] constexpr Status ErrNotSupported() { return Status(Code::kNotSupported); }
+[[nodiscard]] constexpr Status ErrUnavailable() { return Status(Code::kUnavailable); }
+[[nodiscard]] constexpr Status ErrInconsistent() { return Status(Code::kInconsistent); }
 
 }  // namespace base
 

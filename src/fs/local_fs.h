@@ -55,20 +55,20 @@ class LocalFs {
   proto::FileHandle root() const { return root_; }
 
   // --- Namespace operations -------------------------------------------------
-  sim::Task<base::Result<proto::LookupRep>> Lookup(proto::FileHandle dir, const std::string& name);
-  sim::Task<base::Result<proto::CreateRep>> Create(proto::FileHandle dir, const std::string& name,
+  sim::Task<base::Result<proto::LookupRep>> Lookup(proto::FileHandle dir, std::string name);
+  sim::Task<base::Result<proto::CreateRep>> Create(proto::FileHandle dir, std::string name,
                                                    bool exclusive);
-  sim::Task<base::Result<proto::CreateRep>> Mkdir(proto::FileHandle dir, const std::string& name);
-  sim::Task<base::Result<void>> Remove(proto::FileHandle dir, const std::string& name);
-  sim::Task<base::Result<void>> Rmdir(proto::FileHandle dir, const std::string& name);
-  sim::Task<base::Result<void>> Rename(proto::FileHandle from_dir, const std::string& from_name,
-                                       proto::FileHandle to_dir, const std::string& to_name);
+  sim::Task<base::Result<proto::CreateRep>> Mkdir(proto::FileHandle dir, std::string name);
+  sim::Task<base::Result<void>> Remove(proto::FileHandle dir, std::string name);
+  sim::Task<base::Result<void>> Rmdir(proto::FileHandle dir, std::string name);
+  sim::Task<base::Result<void>> Rename(proto::FileHandle from_dir, std::string from_name,
+                                       proto::FileHandle to_dir, std::string to_name);
   sim::Task<base::Result<proto::ReadDirRep>> ReadDir(proto::FileHandle dir, uint64_t cookie,
                                                      uint32_t count);
 
   // --- Attributes -----------------------------------------------------------
   base::Result<proto::Attr> GetAttr(proto::FileHandle fh);
-  sim::Task<base::Result<proto::Attr>> SetAttr(proto::FileHandle fh, const proto::SetAttrReq& req);
+  sim::Task<base::Result<proto::Attr>> SetAttr(proto::FileHandle fh, proto::SetAttrReq req);
 
   // How a write is charged against the disk.
   enum class WriteMode {
@@ -90,7 +90,7 @@ class LocalFs {
   sim::Task<base::Result<proto::ReadRep>> Read(proto::FileHandle fh, uint64_t offset,
                                                uint32_t count);
   sim::Task<base::Result<proto::Attr>> Write(proto::FileHandle fh, uint64_t offset,
-                                             const std::vector<uint8_t>& data, WriteMode mode);
+                                             std::vector<uint8_t> data, WriteMode mode);
 
   // --- SNFS version support -------------------------------------------------
   // The version number lives with the file (as Sprite keeps it on stable

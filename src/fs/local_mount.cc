@@ -64,7 +64,7 @@ sim::Task<base::Result<vfs::GnodeRef>> LocalMount::Root() {
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> LocalMount::Lookup(vfs::GnodeRef dir,
-                                                          const std::string& name) {
+                                                          std::string name) {
   co_await Charge(costs_.per_op);
   CO_ASSIGN_OR_RETURN(proto::LookupRep rep, co_await fs_.Lookup(dir->fh, name));
   vfs::GnodeRef node = NodeFor(rep.fh, rep.attr);
@@ -76,7 +76,7 @@ sim::Task<base::Result<vfs::GnodeRef>> LocalMount::Lookup(vfs::GnodeRef dir,
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> LocalMount::Create(vfs::GnodeRef dir,
-                                                          const std::string& name,
+                                                          std::string name,
                                                           bool exclusive) {
   co_await Charge(costs_.per_op);
   CO_ASSIGN_OR_RETURN(proto::CreateRep rep, co_await fs_.Create(dir->fh, name, exclusive));
@@ -84,7 +84,7 @@ sim::Task<base::Result<vfs::GnodeRef>> LocalMount::Create(vfs::GnodeRef dir,
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> LocalMount::Mkdir(vfs::GnodeRef dir,
-                                                         const std::string& name) {
+                                                         std::string name) {
   co_await Charge(costs_.per_op);
   CO_ASSIGN_OR_RETURN(proto::CreateRep rep, co_await fs_.Mkdir(dir->fh, name));
   co_return NodeFor(rep.fh, rep.attr);
@@ -123,7 +123,7 @@ sim::Task<base::Result<std::vector<uint8_t>>> LocalMount::Read(vfs::GnodeRef nod
 }
 
 sim::Task<base::Result<void>> LocalMount::Write(vfs::GnodeRef node, uint64_t offset,
-                                                const std::vector<uint8_t>& data) {
+                                                std::vector<uint8_t> data) {
   co_await Charge(costs_.per_op +
                   costs_.per_block * static_cast<int64_t>(1 + data.size() / kBlockSize));
   CO_RETURN_IF_ERROR(
@@ -160,7 +160,7 @@ sim::Task<base::Result<void>> LocalMount::Truncate(vfs::GnodeRef node, uint64_t 
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> LocalMount::Remove(vfs::GnodeRef dir, const std::string& name,
+sim::Task<base::Result<void>> LocalMount::Remove(vfs::GnodeRef dir, std::string name,
                                                  vfs::GnodeRef target) {
   co_await Charge(costs_.per_op);
   // The delete-before-writeback optimization: pending delayed writes for
@@ -172,15 +172,15 @@ sim::Task<base::Result<void>> LocalMount::Remove(vfs::GnodeRef dir, const std::s
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> LocalMount::Rmdir(vfs::GnodeRef dir, const std::string& name) {
+sim::Task<base::Result<void>> LocalMount::Rmdir(vfs::GnodeRef dir, std::string name) {
   co_await Charge(costs_.per_op);
   co_return co_await fs_.Rmdir(dir->fh, name);
 }
 
 sim::Task<base::Result<void>> LocalMount::Rename(vfs::GnodeRef from_dir,
-                                                 const std::string& from_name,
+                                                 std::string from_name,
                                                  vfs::GnodeRef to_dir,
-                                                 const std::string& to_name) {
+                                                 std::string to_name) {
   co_await Charge(costs_.per_op);
   co_return co_await fs_.Rename(from_dir->fh, from_name, to_dir->fh, to_name);
 }

@@ -196,7 +196,7 @@ sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Root() {
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Lookup(vfs::GnodeRef dir,
-                                                         const std::string& name) {
+                                                         std::string name) {
   proto::LookupReq req;
   req.dir = dir->fh;
   req.name = name;
@@ -208,7 +208,7 @@ sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Lookup(vfs::GnodeRef dir,
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Create(vfs::GnodeRef dir,
-                                                         const std::string& name,
+                                                         std::string name,
                                                          bool exclusive) {
   proto::CreateReq req;
   req.dir = dir->fh;
@@ -224,7 +224,7 @@ sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Create(vfs::GnodeRef dir,
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> NfsClient::Mkdir(vfs::GnodeRef dir,
-                                                        const std::string& name) {
+                                                        std::string name) {
   proto::MkdirReq req;
   req.dir = dir->fh;
   req.name = name;
@@ -278,7 +278,7 @@ sim::Task<base::Result<std::vector<uint8_t>>> NfsClient::Read(vfs::GnodeRef gnod
 }
 
 sim::Task<base::Result<void>> NfsClient::Write(vfs::GnodeRef gnode, uint64_t offset,
-                                               const std::vector<uint8_t>& data) {
+                                               std::vector<uint8_t> data) {
   NodeRef node = AsNode(gnode);
   if (data.empty()) {
     co_return base::OkStatus();
@@ -362,7 +362,7 @@ sim::Task<base::Result<void>> NfsClient::Truncate(vfs::GnodeRef gnode, uint64_t 
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> NfsClient::Remove(vfs::GnodeRef dir, const std::string& name,
+sim::Task<base::Result<void>> NfsClient::Remove(vfs::GnodeRef dir, std::string name,
                                                 vfs::GnodeRef target) {
   NodeRef victim = AsNode(target);
   // NFS cannot cancel anything: data was written through already. Just make
@@ -381,7 +381,7 @@ sim::Task<base::Result<void>> NfsClient::Remove(vfs::GnodeRef dir, const std::st
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> NfsClient::Rmdir(vfs::GnodeRef dir, const std::string& name) {
+sim::Task<base::Result<void>> NfsClient::Rmdir(vfs::GnodeRef dir, std::string name) {
   proto::RmdirReq req;
   req.dir = dir->fh;
   req.name = name;
@@ -393,9 +393,9 @@ sim::Task<base::Result<void>> NfsClient::Rmdir(vfs::GnodeRef dir, const std::str
 }
 
 sim::Task<base::Result<void>> NfsClient::Rename(vfs::GnodeRef from_dir,
-                                                const std::string& from_name,
+                                                std::string from_name,
                                                 vfs::GnodeRef to_dir,
-                                                const std::string& to_name) {
+                                                std::string to_name) {
   proto::RenameReq req;
   req.from_dir = from_dir->fh;
   req.from_name = from_name;

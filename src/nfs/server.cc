@@ -26,7 +26,7 @@ NfsServer::NfsServer(fs::LocalFs& fs, rpc::Peer& peer) : fs_(fs), peer_(peer) {
   });
 }
 
-sim::Task<proto::Reply> NfsServer::Handle(const proto::Request& request, net::Address from) {
+sim::Task<proto::Reply> NfsServer::Handle(proto::Request request, net::Address from) {
   switch (proto::KindOf(request)) {
     case proto::OpKind::kNull:
       co_return proto::OkReply(proto::NullRep{});

@@ -26,7 +26,7 @@ class NfsServer {
 
   proto::FileHandle root() const { return fs_.root(); }
 
-  sim::Task<proto::Reply> Handle(const proto::Request& request, net::Address from);
+  sim::Task<proto::Reply> Handle(proto::Request request, net::Address from);
 
  private:
   fs::LocalFs& fs_;

@@ -20,6 +20,7 @@ struct FileHandle {
   uint32_t gen = 0;      // inode generation (guards against reuse)
 
   friend bool operator==(const FileHandle&, const FileHandle&) = default;
+  friend auto operator<=>(const FileHandle&, const FileHandle&) = default;
 };
 
 struct FileHandleHash {

@@ -1,5 +1,8 @@
 #include "src/rpc/peer.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/log.h"
 
 namespace rpc {
@@ -44,8 +47,16 @@ void Peer::Shutdown() {
   // Fail out any calls still waiting for replies, and forget them: a late
   // reply that straggles in after a restart must not resolve a promise from
   // the previous incarnation, and the map must not leak across crash cycles.
-  for (auto& [xid, promise] : pending_) {
-    promise.TrySet(proto::ErrorReply(base::ErrUnavailable()));
+  // Resolving a promise resumes its awaiter, so resume the callers in xid
+  // (issue) order rather than hash order.
+  std::vector<uint64_t> xids;
+  xids.reserve(pending_.size());
+  for (const auto& [xid, promise] : pending_) {  // lint: ordered-ok (sorted below)
+    xids.push_back(xid);
+  }
+  std::sort(xids.begin(), xids.end());
+  for (uint64_t xid : xids) {
+    pending_.at(xid).TrySet(proto::ErrorReply(base::ErrUnavailable()));
   }
   pending_.clear();
 }

@@ -70,7 +70,7 @@ struct WorkerEvent {
 class Peer {
  public:
   using Handler =
-      std::function<sim::Task<proto::Reply>(const proto::Request&, net::Address from)>;
+      std::function<sim::Task<proto::Reply>(proto::Request, net::Address from)>;
   using WorkerHook = std::function<void(const WorkerEvent&)>;
 
   Peer(sim::Simulator& simulator, net::Network& network, sim::Cpu& cpu, std::string name,
@@ -120,7 +120,7 @@ class Peer {
   size_t dup_cache_size() const { return dup_cache_.size(); }
   size_t dup_cache_in_progress() const {
     size_t n = 0;
-    for (const auto& [key, entry] : dup_cache_) {
+    for (const auto& [key, entry] : dup_cache_) {  // lint: ordered-ok (commutative count)
       if (!entry.done) {
         ++n;
       }

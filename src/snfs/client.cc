@@ -222,13 +222,16 @@ sim::Task<void> SnfsClient::DelayedCloseDaemon(uint64_t generation) {
       break;
     }
     sim::Time cutoff = simulator_.Now() - params_.delayed_close_timeout;
-    // Spontaneously close files not reopened for a while (§6.2).
+    // Spontaneously close files not reopened for a while (§6.2). Close RPCs
+    // are issued in fileid order so the scan is hash-order independent.
     std::vector<NodeRef> victims;
-    for (const auto& [fileid, node] : nodes_) {
+    for (const auto& [fileid, node] : nodes_) {  // lint: ordered-ok (sorted below)
       if ((OwedReads(*node) > 0 || OwedWrites(*node) > 0) && node->last_close <= cutoff) {
         victims.push_back(node);
       }
     }
+    std::sort(victims.begin(), victims.end(),
+              [](const NodeRef& a, const NodeRef& b) { return a->fh.fileid < b->fh.fileid; });
     for (const NodeRef& node : victims) {
       co_await FlushOwedCloses(node);
     }
@@ -237,7 +240,7 @@ sim::Task<void> SnfsClient::DelayedCloseDaemon(uint64_t generation) {
 
 // --- callbacks ----------------------------------------------------------------
 
-sim::Task<proto::Reply> SnfsClient::HandleCallback(const proto::CallbackReq& req) {
+sim::Task<proto::Reply> SnfsClient::HandleCallback(proto::CallbackReq req) {
   ++callbacks_served_;
   auto it = nodes_.find(req.fh.fileid);
   if (it == nodes_.end() || !(it->second->fh == req.fh)) {
@@ -311,7 +314,20 @@ sim::Task<void> SnfsClient::KeepaliveDaemon(uint64_t generation) {
 
 sim::Task<void> SnfsClient::RunRecovery() {
   ++recoveries_run_;
-  for (const auto& [fileid, node] : nodes_) {
+  // Reopen files in fileid order: each reopen is an awaited RPC, so the
+  // walk order feeds the event queue and must not depend on hashing.
+  std::vector<uint64_t> fileids;
+  fileids.reserve(nodes_.size());
+  for (const auto& [fileid, node] : nodes_) {  // lint: ordered-ok (sorted below)
+    fileids.push_back(fileid);
+  }
+  std::sort(fileids.begin(), fileids.end());
+  for (uint64_t fileid : fileids) {
+    auto node_it = nodes_.find(fileid);
+    if (node_it == nodes_.end()) {
+      continue;
+    }
+    NodeRef node = node_it->second;  // hold a ref: awaits below may mutate nodes_
     bool has_dirty = cache_.HasDirty(mount_id_, fileid);
     if (node->server_reads == 0 && node->server_writes == 0 && !has_dirty) {
       continue;
@@ -358,7 +374,7 @@ sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Root() {
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Lookup(vfs::GnodeRef dir,
-                                                          const std::string& name) {
+                                                          std::string name) {
   proto::LookupReq req;
   req.dir = dir->fh;
   req.name = name;
@@ -370,7 +386,7 @@ sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Lookup(vfs::GnodeRef dir,
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Create(vfs::GnodeRef dir,
-                                                          const std::string& name,
+                                                          std::string name,
                                                           bool exclusive) {
   proto::CreateReq req;
   req.dir = dir->fh;
@@ -384,7 +400,7 @@ sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Create(vfs::GnodeRef dir,
 }
 
 sim::Task<base::Result<vfs::GnodeRef>> SnfsClient::Mkdir(vfs::GnodeRef dir,
-                                                         const std::string& name) {
+                                                         std::string name) {
   proto::MkdirReq req;
   req.dir = dir->fh;
   req.name = name;
@@ -420,7 +436,7 @@ sim::Task<base::Result<std::vector<uint8_t>>> SnfsClient::Read(vfs::GnodeRef gno
 }
 
 sim::Task<base::Result<void>> SnfsClient::Write(vfs::GnodeRef gnode, uint64_t offset,
-                                                const std::vector<uint8_t>& data) {
+                                                std::vector<uint8_t> data) {
   NodeRef node = AsNode(gnode);
   if (!node->cache_enabled) {
     // Reverts to (synchronous) write-through, giving single-copy
@@ -477,7 +493,7 @@ sim::Task<base::Result<void>> SnfsClient::Truncate(vfs::GnodeRef gnode, uint64_t
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> SnfsClient::Remove(vfs::GnodeRef dir, const std::string& name,
+sim::Task<base::Result<void>> SnfsClient::Remove(vfs::GnodeRef dir, std::string name,
                                                  vfs::GnodeRef target) {
   NodeRef victim = AsNode(target);
   // "Sprite and SNFS take advantage of this behavior by 'cancelling'
@@ -499,7 +515,7 @@ sim::Task<base::Result<void>> SnfsClient::Remove(vfs::GnodeRef dir, const std::s
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> SnfsClient::Rmdir(vfs::GnodeRef dir, const std::string& name) {
+sim::Task<base::Result<void>> SnfsClient::Rmdir(vfs::GnodeRef dir, std::string name) {
   proto::RmdirReq req;
   req.dir = dir->fh;
   req.name = name;
@@ -511,9 +527,9 @@ sim::Task<base::Result<void>> SnfsClient::Rmdir(vfs::GnodeRef dir, const std::st
 }
 
 sim::Task<base::Result<void>> SnfsClient::Rename(vfs::GnodeRef from_dir,
-                                                 const std::string& from_name,
+                                                 std::string from_name,
                                                  vfs::GnodeRef to_dir,
-                                                 const std::string& to_name) {
+                                                 std::string to_name) {
   proto::RenameReq req;
   req.from_dir = from_dir->fh;
   req.from_name = from_name;

@@ -70,27 +70,27 @@ class SnfsClient : public vfs::FileSystem {
   // Service a callback RPC from the server (the testbed routes CallbackReq
   // with our fsid here). Must not issue close RPCs inline — see §3.2's
   // deadlock discussion — so relinquish work is deferred.
-  sim::Task<proto::Reply> HandleCallback(const proto::CallbackReq& req);
+  sim::Task<proto::Reply> HandleCallback(proto::CallbackReq req);
 
   // --- vfs::FileSystem ------------------------------------------------------
   sim::Task<base::Result<vfs::GnodeRef>> Root() override;
-  sim::Task<base::Result<vfs::GnodeRef>> Lookup(vfs::GnodeRef dir, const std::string& name) override;
-  sim::Task<base::Result<vfs::GnodeRef>> Create(vfs::GnodeRef dir, const std::string& name,
+  sim::Task<base::Result<vfs::GnodeRef>> Lookup(vfs::GnodeRef dir, std::string name) override;
+  sim::Task<base::Result<vfs::GnodeRef>> Create(vfs::GnodeRef dir, std::string name,
                                                 bool exclusive) override;
-  sim::Task<base::Result<vfs::GnodeRef>> Mkdir(vfs::GnodeRef dir, const std::string& name) override;
+  sim::Task<base::Result<vfs::GnodeRef>> Mkdir(vfs::GnodeRef dir, std::string name) override;
   sim::Task<base::Result<void>> Open(vfs::GnodeRef node, bool write) override;
   sim::Task<base::Result<void>> Close(vfs::GnodeRef node, bool write) override;
   sim::Task<base::Result<std::vector<uint8_t>>> Read(vfs::GnodeRef node, uint64_t offset,
                                                      uint32_t count) override;
   sim::Task<base::Result<void>> Write(vfs::GnodeRef node, uint64_t offset,
-                                      const std::vector<uint8_t>& data) override;
+                                      std::vector<uint8_t> data) override;
   sim::Task<base::Result<proto::Attr>> GetAttr(vfs::GnodeRef node) override;
   sim::Task<base::Result<void>> Truncate(vfs::GnodeRef node, uint64_t size) override;
-  sim::Task<base::Result<void>> Remove(vfs::GnodeRef dir, const std::string& name,
+  sim::Task<base::Result<void>> Remove(vfs::GnodeRef dir, std::string name,
                                        vfs::GnodeRef target) override;
-  sim::Task<base::Result<void>> Rmdir(vfs::GnodeRef dir, const std::string& name) override;
-  sim::Task<base::Result<void>> Rename(vfs::GnodeRef from_dir, const std::string& from_name,
-                                       vfs::GnodeRef to_dir, const std::string& to_name) override;
+  sim::Task<base::Result<void>> Rmdir(vfs::GnodeRef dir, std::string name) override;
+  sim::Task<base::Result<void>> Rename(vfs::GnodeRef from_dir, std::string from_name,
+                                       vfs::GnodeRef to_dir, std::string to_name) override;
   sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(vfs::GnodeRef dir) override;
   sim::Task<base::Result<void>> Fsync(vfs::GnodeRef node) override;
 

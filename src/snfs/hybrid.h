@@ -47,7 +47,7 @@ class HybridServer {
   proto::FileHandle root() const { return snfs_->root(); }
   SnfsServer& snfs_server() { return *snfs_; }
 
-  sim::Task<proto::Reply> Handle(const proto::Request& request, net::Address from);
+  sim::Task<proto::Reply> Handle(proto::Request request, net::Address from);
 
   uint64_t implicit_opens() const { return implicit_opens_; }
   uint64_t lease_closes() const { return lease_closes_; }
@@ -67,7 +67,7 @@ class HybridServer {
 
   // Ensure the NFS client `host` holds an (implicit) open covering `write`
   // access to `fh`; triggers SNFS callbacks exactly as an explicit open.
-  sim::Task<void> TouchLease(const proto::FileHandle& fh, int host, bool write);
+  sim::Task<void> TouchLease(proto::FileHandle fh, int host, bool write);
   sim::Task<void> LeaseDaemon();
 
   sim::Simulator& simulator_;

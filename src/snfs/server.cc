@@ -55,8 +55,8 @@ sim::Mutex& SnfsServer::FileLock(const proto::FileHandle& fh) {
   return *it->second;
 }
 
-sim::Task<void> SnfsServer::IssueCallback(const proto::FileHandle& fh,
-                                          const CallbackAction& action) {
+sim::Task<void> SnfsServer::IssueCallback(proto::FileHandle fh,
+                                          CallbackAction action) {
   if (action.host < 0) {
     co_return;
   }
@@ -86,7 +86,7 @@ sim::Task<void> SnfsServer::IssueCallback(const proto::FileHandle& fh,
   }
 }
 
-sim::Task<proto::Reply> SnfsServer::HandleOpen(const proto::OpenReq& req, net::Address from) {
+sim::Task<proto::Reply> SnfsServer::HandleOpen(proto::OpenReq req, net::Address from) {
   if (in_recovery()) {
     co_return proto::ErrorReply(base::ErrUnavailable());
   }
@@ -145,7 +145,7 @@ sim::Task<proto::Reply> SnfsServer::HandleOpen(const proto::OpenReq& req, net::A
   co_return proto::OkReply(rep);
 }
 
-sim::Task<proto::Reply> SnfsServer::HandleClose(const proto::CloseReq& req, net::Address from) {
+sim::Task<proto::Reply> SnfsServer::HandleClose(proto::CloseReq req, net::Address from) {
   sim::Mutex& lock = FileLock(req.fh);
   co_await lock.Acquire();
   CloseResult result = table_.OnClose(req.fh, from.host, req.write_mode, req.has_dirty);
@@ -154,7 +154,7 @@ sim::Task<proto::Reply> SnfsServer::HandleClose(const proto::CloseReq& req, net:
   co_return proto::OkReply(proto::CloseRep{});
 }
 
-sim::Task<proto::Reply> SnfsServer::HandleReopen(const proto::ReopenReq& req, net::Address from) {
+sim::Task<proto::Reply> SnfsServer::HandleReopen(proto::ReopenReq req, net::Address from) {
   auto stable_version = fs_.Version(req.fh);
   if (!stable_version.ok()) {
     co_return proto::ErrorReply(stable_version.status());
@@ -186,7 +186,7 @@ sim::Task<void> SnfsServer::ReclaimEntries() {
   }
 }
 
-sim::Task<proto::Reply> SnfsServer::HandleData(const proto::Request& request, net::Address from) {
+sim::Task<proto::Reply> SnfsServer::HandleData(proto::Request request, net::Address from) {
   switch (proto::KindOf(request)) {
     case proto::OpKind::kNull:
       co_return proto::OkReply(proto::NullRep{});
@@ -261,7 +261,7 @@ sim::Task<proto::Reply> SnfsServer::HandleData(const proto::Request& request, ne
   }
 }
 
-sim::Task<proto::Reply> SnfsServer::Handle(const proto::Request& request, net::Address from) {
+sim::Task<proto::Reply> SnfsServer::Handle(proto::Request request, net::Address from) {
   switch (proto::KindOf(request)) {
     case proto::OpKind::kOpen:
       co_return co_await HandleOpen(std::get<proto::OpenReq>(request), from);

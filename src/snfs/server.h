@@ -60,7 +60,7 @@ class SnfsServer {
   uint64_t epoch() const { return epoch_; }
   bool in_recovery() const { return simulator_.Now() < recovery_until_; }
 
-  sim::Task<proto::Reply> Handle(const proto::Request& request, net::Address from);
+  sim::Task<proto::Reply> Handle(proto::Request request, net::Address from);
 
   // Crash simulation: lose all state (the state table lives in kernel
   // memory). The caller also marks the host down in the Network and calls
@@ -83,14 +83,14 @@ class SnfsServer {
   uint64_t reclaims() const { return reclaims_; }
 
  private:
-  sim::Task<proto::Reply> HandleOpen(const proto::OpenReq& req, net::Address from);
-  sim::Task<proto::Reply> HandleClose(const proto::CloseReq& req, net::Address from);
-  sim::Task<proto::Reply> HandleReopen(const proto::ReopenReq& req, net::Address from);
-  sim::Task<proto::Reply> HandleData(const proto::Request& request, net::Address from);
+  sim::Task<proto::Reply> HandleOpen(proto::OpenReq req, net::Address from);
+  sim::Task<proto::Reply> HandleClose(proto::CloseReq req, net::Address from);
+  sim::Task<proto::Reply> HandleReopen(proto::ReopenReq req, net::Address from);
+  sim::Task<proto::Reply> HandleData(proto::Request request, net::Address from);
 
   // Issue one callback under the thread budget; marks the file inconsistent
   // and drops the client if the callback cannot be delivered.
-  sim::Task<void> IssueCallback(const proto::FileHandle& fh, const CallbackAction& action);
+  sim::Task<void> IssueCallback(proto::FileHandle fh, CallbackAction action);
 
   // Reclaim CLOSED_DIRTY entries when the table is over its limit.
   sim::Task<void> ReclaimEntries();

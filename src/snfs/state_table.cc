@@ -384,15 +384,22 @@ std::vector<StateTable::ReclaimPlan> StateTable::PlanReclaim() {
     return plans;
   }
   size_t need = entries_.size() - params_.max_entries;
-  for (const auto& [fh, entry] : entries_) {
+  // Pick victims in file-handle order, not hash order: the resulting
+  // callbacks are awaited RPCs, so the choice feeds the event queue.
+  std::vector<proto::FileHandle> dirty;
+  for (const auto& [fh, entry] : entries_) {  // lint: ordered-ok (sorted below)
+    if (entry.state == FileState::kClosedDirty) {
+      dirty.push_back(fh);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const proto::FileHandle& fh : dirty) {
     if (plans.size() >= need) {
       break;
     }
-    if (entry.state == FileState::kClosedDirty) {
-      plans.push_back(ReclaimPlan{
-          fh, CallbackAction{entry.last_writer, /*writeback=*/true, /*invalidate=*/false,
-                             /*relinquish=*/false}});
-    }
+    plans.push_back(ReclaimPlan{
+        fh, CallbackAction{entries_.at(fh).last_writer, /*writeback=*/true,
+                           /*invalidate=*/false, /*relinquish=*/false}});
   }
   return plans;
 }
@@ -401,12 +408,20 @@ void StateTable::DropClosedEntries() {
   if (!over_limit()) {
     return;
   }
-  for (auto it = entries_.begin(); it != entries_.end() && over_limit();) {
-    if (it->second.state == FileState::kClosed) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  // Drop clean closed entries in file-handle order so WHICH entries survive
+  // an over-limit table does not depend on hash-iteration order.
+  std::vector<proto::FileHandle> closed;
+  for (const auto& [fh, entry] : entries_) {  // lint: ordered-ok (sorted below)
+    if (entry.state == FileState::kClosed) {
+      closed.push_back(fh);
     }
+  }
+  std::sort(closed.begin(), closed.end());
+  for (const proto::FileHandle& fh : closed) {
+    if (!over_limit()) {
+      break;
+    }
+    entries_.erase(fh);
   }
 }
 
@@ -429,7 +444,8 @@ bool StateTable::HostHasOpen(const proto::FileHandle& fh, int host) const {
 }
 
 void StateTable::CheckInvariants() const {
-  for (const auto& [fh, entry] : entries_) {
+  // Read-only per-entry CHECKs; a violation aborts regardless of walk order.
+  for (const auto& [fh, entry] : entries_) {  // lint: ordered-ok
     uint32_t opens = TotalOpens(entry);
     uint32_t writers = TotalWriters(entry);
     size_t nclients = entry.clients.size();

@@ -19,7 +19,7 @@ ClientMachine::ClientMachine(sim::Simulator& simulator, net::Network& network, s
   });
 }
 
-sim::Task<proto::Reply> ClientMachine::HandleRequest(const proto::Request& request,
+sim::Task<proto::Reply> ClientMachine::HandleRequest(proto::Request request,
                                                      net::Address from) {
   // Client machines only serve the SNFS callback RPC (§4.2.2).
   if (const auto* cb = std::get_if<proto::CallbackReq>(&request)) {

@@ -75,7 +75,7 @@ class ClientMachine {
   bool started() const { return started_; }
 
  private:
-  sim::Task<proto::Reply> HandleRequest(const proto::Request& request, net::Address from);
+  sim::Task<proto::Reply> HandleRequest(proto::Request request, net::Address from);
 
   sim::Simulator& simulator_;
   std::string name_;

@@ -55,7 +55,7 @@ base::Result<Vfs::MountPoint*> Vfs::FindMount(const std::string& path, std::stri
   return base::ErrNoEnt();
 }
 
-sim::Task<base::Result<Vfs::Resolved>> Vfs::ResolvePath(const std::string& path) {
+sim::Task<base::Result<Vfs::Resolved>> Vfs::ResolvePath(std::string path) {
   std::string rest;
   CO_ASSIGN_OR_RETURN(MountPoint * mount, FindMount(path, &rest));
   CO_ASSIGN_OR_RETURN(GnodeRef node, co_await mount->fs->Root());
@@ -65,7 +65,7 @@ sim::Task<base::Result<Vfs::Resolved>> Vfs::ResolvePath(const std::string& path)
   co_return Resolved{mount->fs, std::move(node)};
 }
 
-sim::Task<base::Result<Vfs::ResolvedParent>> Vfs::ResolveParent(const std::string& path) {
+sim::Task<base::Result<Vfs::ResolvedParent>> Vfs::ResolveParent(std::string path) {
   std::string rest;
   CO_ASSIGN_OR_RETURN(MountPoint * mount, FindMount(path, &rest));
   std::vector<std::string> comps = SplitComponents(rest);
@@ -87,7 +87,7 @@ base::Result<Vfs::FdEntry*> Vfs::GetFd(int fd) {
   return &it->second;
 }
 
-sim::Task<base::Result<int>> Vfs::Open(const std::string& path, OpenFlags flags) {
+sim::Task<base::Result<int>> Vfs::Open(std::string path, OpenFlags flags) {
   CO_ASSIGN_OR_RETURN(ResolvedParent parent, co_await ResolveParent(path));
   GnodeRef node;
   auto lookup = co_await parent.fs->Lookup(parent.dir, parent.leaf);
@@ -139,7 +139,7 @@ sim::Task<base::Result<std::vector<uint8_t>>> Vfs::Read(int fd, uint32_t count) 
   co_return data;
 }
 
-sim::Task<base::Result<void>> Vfs::Write(int fd, const std::vector<uint8_t>& data) {
+sim::Task<base::Result<void>> Vfs::Write(int fd, std::vector<uint8_t> data) {
   CO_ASSIGN_OR_RETURN(FdEntry * entry, GetFd(fd));
   if (!entry->write) {
     co_return base::ErrAccess();
@@ -157,7 +157,7 @@ sim::Task<base::Result<std::vector<uint8_t>>> Vfs::Pread(int fd, uint64_t offset
 }
 
 sim::Task<base::Result<void>> Vfs::Pwrite(int fd, uint64_t offset,
-                                          const std::vector<uint8_t>& data) {
+                                          std::vector<uint8_t> data) {
   CO_ASSIGN_OR_RETURN(FdEntry * entry, GetFd(fd));
   if (!entry->write) {
     co_return base::ErrAccess();
@@ -171,7 +171,7 @@ base::Result<uint64_t> Vfs::Seek(int fd, uint64_t offset) {
   return offset;
 }
 
-sim::Task<base::Result<proto::Attr>> Vfs::Stat(const std::string& path) {
+sim::Task<base::Result<proto::Attr>> Vfs::Stat(std::string path) {
   CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolvePath(path));
   co_return co_await r.fs->GetAttr(r.node);
 }
@@ -181,7 +181,7 @@ sim::Task<base::Result<proto::Attr>> Vfs::Fstat(int fd) {
   co_return co_await entry->fs->GetAttr(entry->node);
 }
 
-sim::Task<base::Result<void>> Vfs::Unlink(const std::string& path) {
+sim::Task<base::Result<void>> Vfs::Unlink(std::string path) {
   CO_ASSIGN_OR_RETURN(ResolvedParent parent, co_await ResolveParent(path));
   // namei resolves the victim on the way to the unlink (this is how the
   // client learns the fileid whose delayed writes it can cancel).
@@ -189,7 +189,7 @@ sim::Task<base::Result<void>> Vfs::Unlink(const std::string& path) {
   co_return co_await parent.fs->Remove(parent.dir, parent.leaf, std::move(target));
 }
 
-sim::Task<base::Result<void>> Vfs::MkdirPath(const std::string& path) {
+sim::Task<base::Result<void>> Vfs::MkdirPath(std::string path) {
   CO_ASSIGN_OR_RETURN(ResolvedParent parent, co_await ResolveParent(path));
   auto made = co_await parent.fs->Mkdir(parent.dir, parent.leaf);
   if (!made.ok()) {
@@ -198,12 +198,12 @@ sim::Task<base::Result<void>> Vfs::MkdirPath(const std::string& path) {
   co_return base::OkStatus();
 }
 
-sim::Task<base::Result<void>> Vfs::RmdirPath(const std::string& path) {
+sim::Task<base::Result<void>> Vfs::RmdirPath(std::string path) {
   CO_ASSIGN_OR_RETURN(ResolvedParent parent, co_await ResolveParent(path));
   co_return co_await parent.fs->Rmdir(parent.dir, parent.leaf);
 }
 
-sim::Task<base::Result<void>> Vfs::Rename(const std::string& from, const std::string& to) {
+sim::Task<base::Result<void>> Vfs::Rename(std::string from, std::string to) {
   CO_ASSIGN_OR_RETURN(ResolvedParent src, co_await ResolveParent(from));
   CO_ASSIGN_OR_RETURN(ResolvedParent dst, co_await ResolveParent(to));
   if (src.fs != dst.fs) {
@@ -212,7 +212,7 @@ sim::Task<base::Result<void>> Vfs::Rename(const std::string& from, const std::st
   co_return co_await src.fs->Rename(src.dir, src.leaf, dst.dir, dst.leaf);
 }
 
-sim::Task<base::Result<std::vector<proto::DirEntry>>> Vfs::ReadDir(const std::string& path) {
+sim::Task<base::Result<std::vector<proto::DirEntry>>> Vfs::ReadDir(std::string path) {
   CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolvePath(path));
   co_return co_await r.fs->ReadDir(r.node);
 }
@@ -222,7 +222,7 @@ sim::Task<base::Result<void>> Vfs::Fsync(int fd) {
   co_return co_await entry->fs->Fsync(entry->node);
 }
 
-sim::Task<base::Result<std::vector<uint8_t>>> Vfs::ReadFile(const std::string& path,
+sim::Task<base::Result<std::vector<uint8_t>>> Vfs::ReadFile(std::string path,
                                                             uint32_t chunk) {
   CO_ASSIGN_OR_RETURN(int fd, co_await Open(path, OpenFlags::ReadOnly()));
   std::vector<uint8_t> out;
@@ -241,8 +241,8 @@ sim::Task<base::Result<std::vector<uint8_t>>> Vfs::ReadFile(const std::string& p
   co_return out;
 }
 
-sim::Task<base::Result<void>> Vfs::WriteFile(const std::string& path,
-                                             const std::vector<uint8_t>& data, uint32_t chunk) {
+sim::Task<base::Result<void>> Vfs::WriteFile(std::string path,
+                                             std::vector<uint8_t> data, uint32_t chunk) {
   CO_ASSIGN_OR_RETURN(int fd, co_await Open(path, OpenFlags::WriteCreate()));
   uint64_t offset = 0;
   while (offset < data.size()) {

@@ -58,10 +58,10 @@ class FileSystem {
   virtual ~FileSystem() = default;
 
   virtual sim::Task<base::Result<GnodeRef>> Root() = 0;
-  virtual sim::Task<base::Result<GnodeRef>> Lookup(GnodeRef dir, const std::string& name) = 0;
-  virtual sim::Task<base::Result<GnodeRef>> Create(GnodeRef dir, const std::string& name,
+  virtual sim::Task<base::Result<GnodeRef>> Lookup(GnodeRef dir, std::string name) = 0;
+  virtual sim::Task<base::Result<GnodeRef>> Create(GnodeRef dir, std::string name,
                                                    bool exclusive) = 0;
-  virtual sim::Task<base::Result<GnodeRef>> Mkdir(GnodeRef dir, const std::string& name) = 0;
+  virtual sim::Task<base::Result<GnodeRef>> Mkdir(GnodeRef dir, std::string name) = 0;
 
   // Consistency actions at open/close time (NFS: getattr probe / flush +
   // possibly invalidate; SNFS: open / close RPCs).
@@ -71,18 +71,18 @@ class FileSystem {
   virtual sim::Task<base::Result<std::vector<uint8_t>>> Read(GnodeRef node, uint64_t offset,
                                                              uint32_t count) = 0;
   virtual sim::Task<base::Result<void>> Write(GnodeRef node, uint64_t offset,
-                                              const std::vector<uint8_t>& data) = 0;
+                                              std::vector<uint8_t> data) = 0;
 
   virtual sim::Task<base::Result<proto::Attr>> GetAttr(GnodeRef node) = 0;
   virtual sim::Task<base::Result<void>> Truncate(GnodeRef node, uint64_t size) = 0;
 
   // `target` is the already-resolved victim (namei resolves it on the way
   // to the syscall); protocols use it to cancel delayed writes.
-  virtual sim::Task<base::Result<void>> Remove(GnodeRef dir, const std::string& name,
+  virtual sim::Task<base::Result<void>> Remove(GnodeRef dir, std::string name,
                                                GnodeRef target) = 0;
-  virtual sim::Task<base::Result<void>> Rmdir(GnodeRef dir, const std::string& name) = 0;
-  virtual sim::Task<base::Result<void>> Rename(GnodeRef from_dir, const std::string& from_name,
-                                               GnodeRef to_dir, const std::string& to_name) = 0;
+  virtual sim::Task<base::Result<void>> Rmdir(GnodeRef dir, std::string name) = 0;
+  virtual sim::Task<base::Result<void>> Rename(GnodeRef from_dir, std::string from_name,
+                                               GnodeRef to_dir, std::string to_name) = 0;
   virtual sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(GnodeRef dir) = 0;
 
   // Force dirty data to stable storage (fsync / explicit flush).
@@ -101,30 +101,30 @@ class Vfs {
   void Mount(const std::string& path, FileSystem* fs);
 
   // --- Unix-flavoured syscalls ----------------------------------------------
-  sim::Task<base::Result<int>> Open(const std::string& path, OpenFlags flags);
+  sim::Task<base::Result<int>> Open(std::string path, OpenFlags flags);
   sim::Task<base::Result<void>> Close(int fd);
   // Sequential read/write advancing the fd offset.
   sim::Task<base::Result<std::vector<uint8_t>>> Read(int fd, uint32_t count);
-  sim::Task<base::Result<void>> Write(int fd, const std::vector<uint8_t>& data);
+  sim::Task<base::Result<void>> Write(int fd, std::vector<uint8_t> data);
   // Positional forms.
   sim::Task<base::Result<std::vector<uint8_t>>> Pread(int fd, uint64_t offset, uint32_t count);
-  sim::Task<base::Result<void>> Pwrite(int fd, uint64_t offset, const std::vector<uint8_t>& data);
+  sim::Task<base::Result<void>> Pwrite(int fd, uint64_t offset, std::vector<uint8_t> data);
   base::Result<uint64_t> Seek(int fd, uint64_t offset);
-  sim::Task<base::Result<proto::Attr>> Stat(const std::string& path);
+  sim::Task<base::Result<proto::Attr>> Stat(std::string path);
   sim::Task<base::Result<proto::Attr>> Fstat(int fd);
-  sim::Task<base::Result<void>> Unlink(const std::string& path);
-  sim::Task<base::Result<void>> MkdirPath(const std::string& path);
-  sim::Task<base::Result<void>> RmdirPath(const std::string& path);
-  sim::Task<base::Result<void>> Rename(const std::string& from, const std::string& to);
-  sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(const std::string& path);
+  sim::Task<base::Result<void>> Unlink(std::string path);
+  sim::Task<base::Result<void>> MkdirPath(std::string path);
+  sim::Task<base::Result<void>> RmdirPath(std::string path);
+  sim::Task<base::Result<void>> Rename(std::string from, std::string to);
+  sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(std::string path);
   sim::Task<base::Result<void>> Fsync(int fd);
 
   // Convenience: read/write a whole file through open/loop/close, with the
   // caller's preferred I/O chunk size (defaults to one block).
-  sim::Task<base::Result<std::vector<uint8_t>>> ReadFile(const std::string& path,
+  sim::Task<base::Result<std::vector<uint8_t>>> ReadFile(std::string path,
                                                          uint32_t chunk = 4096);
-  sim::Task<base::Result<void>> WriteFile(const std::string& path,
-                                          const std::vector<uint8_t>& data, uint32_t chunk = 4096);
+  sim::Task<base::Result<void>> WriteFile(std::string path,
+                                          std::vector<uint8_t> data, uint32_t chunk = 4096);
 
   int open_fd_count() const { return static_cast<int>(fds_.size()); }
 
@@ -151,8 +151,8 @@ class Vfs {
 
   // Longest-prefix mount match; returns remaining components.
   base::Result<MountPoint*> FindMount(const std::string& path, std::string* rest);
-  sim::Task<base::Result<Resolved>> ResolvePath(const std::string& path);
-  sim::Task<base::Result<ResolvedParent>> ResolveParent(const std::string& path);
+  sim::Task<base::Result<Resolved>> ResolvePath(std::string path);
+  sim::Task<base::Result<ResolvedParent>> ResolveParent(std::string path);
   base::Result<FdEntry*> GetFd(int fd);
 
   static std::vector<std::string> SplitComponents(std::string_view path);

@@ -43,7 +43,7 @@ std::string_view AndrewPhaseName(AndrewPhase phase) {
 }
 
 sim::Task<void> PopulateAndrewTree(fs::LocalFs& fs, proto::FileHandle parent,
-                                   const AndrewShape& shape) {
+                                   AndrewShape shape) {
   sim::Rng rng(shape.seed);
   auto src = co_await fs.Mkdir(parent, "src");
   CHECK(src.ok());
@@ -73,7 +73,7 @@ sim::Task<void> PopulateAndrewTree(fs::LocalFs& fs, proto::FileHandle parent,
 namespace {
 
 // Phase 1: construct a target subtree identical in structure to the source.
-sim::Task<base::Result<void>> PhaseMakeDir(vfs::Vfs& vfs, const AndrewConfig& config) {
+sim::Task<base::Result<void>> PhaseMakeDir(vfs::Vfs& vfs, AndrewConfig config) {
   CO_RETURN_IF_ERROR(co_await vfs.MkdirPath(config.target_root));
   CO_RETURN_IF_ERROR(co_await vfs.MkdirPath(config.target_root + "/include"));
   for (int d = 0; d < config.shape.dirs; ++d) {
@@ -84,7 +84,7 @@ sim::Task<base::Result<void>> PhaseMakeDir(vfs::Vfs& vfs, const AndrewConfig& co
 
 // Phase 2: copy every file from the source subtree to the target subtree.
 sim::Task<base::Result<uint64_t>> PhaseCopy(vfs::Vfs& vfs, sim::Cpu& cpu,
-                                            const AndrewConfig& config) {
+                                            AndrewConfig config) {
   uint64_t bytes = 0;
   for (int h = 0; h < config.shape.num_headers; ++h) {
     std::string name = "/include/" + HeaderName(h);
@@ -110,7 +110,7 @@ sim::Task<base::Result<uint64_t>> PhaseCopy(vfs::Vfs& vfs, sim::Cpu& cpu,
 // Phase 3: recursively traverse the target subtree, stat-ing every file
 // without reading contents.
 sim::Task<base::Result<void>> PhaseScanDir(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                           sim::Cpu& cpu, const AndrewConfig& config) {
+                                           sim::Cpu& cpu, AndrewConfig config) {
   std::vector<std::string> stack{config.target_root};
   while (!stack.empty()) {
     std::string dir = stack.back();
@@ -130,7 +130,7 @@ sim::Task<base::Result<void>> PhaseScanDir(sim::Simulator& simulator, vfs::Vfs& 
 
 // Phase 4: read every byte of every file in the target subtree.
 sim::Task<base::Result<void>> PhaseReadAll(vfs::Vfs& vfs, sim::Cpu& cpu,
-                                           const AndrewConfig& config) {
+                                           AndrewConfig config) {
   std::vector<std::string> stack{config.target_root};
   while (!stack.empty()) {
     std::string dir = stack.back();
@@ -154,7 +154,7 @@ sim::Task<base::Result<void>> PhaseReadAll(vfs::Vfs& vfs, sim::Cpu& cpu,
 // produces a temporary (preprocessor/assembler) file in tmp, burns CPU,
 // writes the object into the target tree, deletes the temporary.
 sim::Task<base::Result<uint64_t>> CompileOne(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                             sim::Cpu& cpu, const AndrewConfig& config, int d,
+                                             sim::Cpu& cpu, AndrewConfig config, int d,
                                              int f, sim::Rng& rng) {
   std::string src = config.target_root + "/" + DirName(d) + "/" + FileName(f);
   CO_ASSIGN_OR_RETURN(std::vector<uint8_t> source, co_await vfs.ReadFile(src));
@@ -202,7 +202,7 @@ sim::Task<base::Result<uint64_t>> CompileOne(sim::Simulator& simulator, vfs::Vfs
 
 // Phase 5: compile every source file, then link the objects.
 sim::Task<base::Result<uint64_t>> PhaseMake(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                            sim::Cpu& cpu, const AndrewConfig& config) {
+                                            sim::Cpu& cpu, AndrewConfig config) {
   sim::Rng rng(config.shape.seed ^ 0xABCD);
   uint64_t compiled = 0;
   uint64_t object_bytes = 0;
@@ -235,7 +235,7 @@ sim::Task<base::Result<uint64_t>> PhaseMake(sim::Simulator& simulator, vfs::Vfs&
 }  // namespace
 
 sim::Task<base::Result<AndrewReport>> RunAndrew(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                                sim::Cpu& cpu, const AndrewConfig& config) {
+                                                sim::Cpu& cpu, AndrewConfig config) {
   AndrewReport report;
   sim::Time start = simulator.Now();
   sim::Time phase_start = start;

@@ -75,11 +75,11 @@ struct AndrewReport {
 // `parent`) directly in the (server or local) file system, bypassing the
 // protocols so population costs nothing.
 sim::Task<void> PopulateAndrewTree(fs::LocalFs& fs, proto::FileHandle parent,
-                                   const AndrewShape& shape);
+                                   AndrewShape shape);
 
 // Run all five phases through `vfs`, charging compute to `cpu`.
 sim::Task<base::Result<AndrewReport>> RunAndrew(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                                sim::Cpu& cpu, const AndrewConfig& config);
+                                                sim::Cpu& cpu, AndrewConfig config);
 
 }  // namespace workload
 

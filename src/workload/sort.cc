@@ -32,7 +32,7 @@ std::string RunName(const std::string& tmp_dir, int pass, uint64_t index) {
 }  // namespace
 
 sim::Task<void> PopulateSortInput(fs::LocalFs& fs, proto::FileHandle parent,
-                                  const std::string& name, uint64_t bytes, uint64_t seed) {
+                                  std::string name, uint64_t bytes, uint64_t seed) {
   sim::Rng rng(seed);
   uint64_t records = bytes / kSortRecordBytes;
   auto file = co_await fs.Create(parent, name, /*exclusive=*/false);
@@ -92,7 +92,7 @@ sim::Task<base::Result<void>> Refill(vfs::Vfs& vfs, MergeSource& src, uint32_t c
 }  // namespace
 
 sim::Task<base::Result<SortReport>> RunSort(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                            sim::Cpu& cpu, const SortConfig& config) {
+                                            sim::Cpu& cpu, SortConfig config) {
   SortReport report;
   sim::Time start = simulator.Now();
 

@@ -51,11 +51,11 @@ struct SortReport {
 // Create an input file of `bytes` (rounded down to whole records) filled
 // with deterministic pseudo-random records, directly in `fs`.
 sim::Task<void> PopulateSortInput(fs::LocalFs& fs, proto::FileHandle parent,
-                                  const std::string& name, uint64_t bytes, uint64_t seed);
+                                  std::string name, uint64_t bytes, uint64_t seed);
 
 // Run the external sort through `vfs`. Verifies the output ordering.
 sim::Task<base::Result<SortReport>> RunSort(sim::Simulator& simulator, vfs::Vfs& vfs,
-                                            sim::Cpu& cpu, const SortConfig& config);
+                                            sim::Cpu& cpu, SortConfig config);
 
 }  // namespace workload
 

@@ -1,0 +1,47 @@
+// A minimal C++ lexer for snfslint.
+//
+// Produces a flat token stream (identifiers, numbers, literals, punctuation)
+// with line numbers, plus the side tables the lint rules need:
+//
+//  * suppressions: `// lint: <rule>-ok` comments, attached to the line they
+//    appear on (and to the following line when the comment stands alone);
+//  * preprocessor directives and comments are consumed, not emitted.
+//
+// The lexer is deliberately not a preprocessor: macros are not expanded and
+// string concatenation is not performed. Lint rules operate on the token
+// stream of the file as written, which is what a reviewer reads.
+#ifndef TOOLS_LINT_LEXER_H_
+#define TOOLS_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals
+  kString,  // string and character literals (text excludes quotes)
+  kPunct,   // operators and punctuation; multi-char ops merged (see lexer.cc)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // line -> rule ids suppressed on that line via `// lint: <rule>-ok`.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+// Tokenizes `source`. Never fails: unrecognized bytes are skipped.
+LexResult Lex(const std::string& source);
+
+}  // namespace lint
+
+#endif  // TOOLS_LINT_LEXER_H_

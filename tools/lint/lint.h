@@ -1,0 +1,124 @@
+// snfslint rule engine.
+//
+// The linter runs in two passes over a set of files:
+//
+//  Pass 1 collects declarations: names of functions returning sim::Task<...>
+//  (and whether the task's payload is a base::Status / base::Result), names
+//  of functions returning base::Status / base::Result directly, and names of
+//  variables declared as std::unordered_map / std::unordered_set.
+//
+//  Pass 2 applies the rules to each file's token stream, consulting the
+//  collected declarations. Function names are matched repo-wide (call sites
+//  routinely cross files); unordered-container variable names are matched
+//  per file plus its paired header/source (x.cc <-> x.h), which keeps an
+//  unordered member in one class from tainting a same-named ordered local
+//  elsewhere.
+//
+// Rules (diagnostic ids; suppress with `// lint: <id>-ok` on the line or a
+// standalone comment on the line above):
+//
+//  coro-ref      A sim::Task-returning function takes a parameter that can
+//                dangle across a suspension point: const lvalue reference
+//                (binds temporaries), rvalue reference, std::string_view, or
+//                std::span. Non-const lvalue references are allowed: they
+//                cannot bind temporaries and idiomatically name long-lived
+//                services (sim::Simulator&, vfs::Vfs&).
+//  coro-lambda   A lambda with a reference capture whose body contains
+//                co_await / co_return / co_yield: the closure lives in the
+//                coroutine frame and its captures can outlive the enclosing
+//                scope.
+//  task-dropped  A call to a Task-returning function used as a bare
+//                statement: the task is neither co_awaited, stored, nor
+//                spawned, so (tasks being lazy) the body silently never runs.
+//  nondet        Use of a wall-clock or ambient-randomness source (rand,
+//                srand, std::random_device, std::chrono::system_clock,
+//                time()) inside the simulation: all stochastic behaviour
+//                must flow from sim::Rng seeds.
+//  ordered       Range-for over an unordered container in an
+//                order-sensitive directory (src/sim, src/net, src/rpc,
+//                src/nfs, src/snfs, src/cache): hash-iteration order can
+//                silently change simulated event ordering.
+//  unused-status A base::Status / base::Result return value (including the
+//                payload of `co_await SomeTask(...)`) dropped without an
+//                explicit (void) cast.
+#ifndef TOOLS_LINT_LINT_H_
+#define TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace lint {
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+// Declarations harvested from one file in pass 1.
+struct FileDecls {
+  // Function name -> payload bitmask: kStatusPayload when the Task payload
+  // is Status/Result-like, kOtherPayload otherwise. A name declared both
+  // ways (e.g. Write in vfs and disk) has both bits set.
+  static constexpr int kStatusPayload = 1;
+  static constexpr int kOtherPayload = 2;
+  std::map<std::string, int> task_fns;
+  std::set<std::string> status_fns;
+  // Functions declared with a non-Task, non-Status return type; a name that
+  // also appears here is ambiguous and the statement rules stay quiet
+  // (e.g. Simulator::Run() vs. a Task-returning Run elsewhere).
+  std::set<std::string> other_fns;
+  std::set<std::string> unordered_vars;
+};
+
+class Linter {
+ public:
+  // Pass 1: lex `source` and harvest declarations. `path` is the name used
+  // in diagnostics and for the ordered-rule directory check.
+  void AddFile(const std::string& path, const std::string& source);
+
+  // Pass 2: apply all rules to every added file. Returns diagnostics sorted
+  // by (file, line, rule).
+  std::vector<Diagnostic> Run();
+
+  // True when `path` is under a directory where iteration order feeds the
+  // event queue (the `ordered` rule's scope).
+  static bool InOrderSensitiveDir(const std::string& path);
+
+ private:
+  struct FileState {
+    std::string path;
+    LexResult lex;
+    FileDecls decls;
+  };
+
+  void CollectDecls(FileState& fs);
+  void LintFile(const FileState& fs, std::vector<Diagnostic>& out) const;
+
+  // Rules. `unordered` is the effective unordered-variable set for the file.
+  void CheckCoroParams(const FileState& fs, std::vector<Diagnostic>& out) const;
+  void CheckCoroLambdas(const FileState& fs, std::vector<Diagnostic>& out) const;
+  void CheckNondet(const FileState& fs, std::vector<Diagnostic>& out) const;
+  void CheckOrderedIteration(const FileState& fs, const std::set<std::string>& unordered,
+                             std::vector<Diagnostic>& out) const;
+  void CheckStatements(const FileState& fs, std::vector<Diagnostic>& out) const;
+
+  bool Suppressed(const FileState& fs, int line, const std::string& rule) const;
+  void Emit(const FileState& fs, int line, const std::string& rule, std::string message,
+            std::vector<Diagnostic>& out) const;
+
+  std::vector<FileState> files_;
+  // Global function tables (populated after all AddFile calls, in Run()).
+  std::map<std::string, int> task_fns_;
+  std::set<std::string> status_fns_;
+  std::set<std::string> other_fns_;
+};
+
+}  // namespace lint
+
+#endif  // TOOLS_LINT_LINT_H_

@@ -1,0 +1,190 @@
+// Tests for snfslint: every rule has a _bad fixture that must fire and a
+// _good fixture that must stay clean, plus direct lexer/suppression checks.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/lint.h"
+
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(LINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Lints one fixture registered under `as_path` and returns the rule ids of
+// every diagnostic.
+std::vector<std::string> RulesFiredOn(const std::string& fixture, const std::string& as_path) {
+  Linter linter;
+  linter.AddFile(as_path, ReadFixture(fixture));
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : linter.Run()) {
+    rules.push_back(d.rule);
+  }
+  return rules;
+}
+
+int CountRule(const std::vector<std::string>& rules, const std::string& rule) {
+  int n = 0;
+  for (const std::string& r : rules) {
+    if (r == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(SnfslintTest, CoroRefFires) {
+  std::vector<std::string> rules = RulesFiredOn("coro_ref_bad.cc", "coro_ref_bad.cc");
+  EXPECT_EQ(CountRule(rules, "coro-ref"), 4);
+}
+
+TEST(SnfslintTest, CoroRefQuiet) {
+  std::vector<std::string> rules = RulesFiredOn("coro_ref_good.cc", "coro_ref_good.cc");
+  EXPECT_EQ(CountRule(rules, "coro-ref"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, CoroLambdaFires) {
+  std::vector<std::string> rules = RulesFiredOn("coro_lambda_bad.cc", "coro_lambda_bad.cc");
+  EXPECT_EQ(CountRule(rules, "coro-lambda"), 1);
+}
+
+TEST(SnfslintTest, CoroLambdaQuiet) {
+  std::vector<std::string> rules = RulesFiredOn("coro_lambda_good.cc", "coro_lambda_good.cc");
+  EXPECT_EQ(CountRule(rules, "coro-lambda"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, TaskDroppedFires) {
+  std::vector<std::string> rules = RulesFiredOn("task_dropped_bad.cc", "task_dropped_bad.cc");
+  EXPECT_EQ(CountRule(rules, "task-dropped"), 2);
+}
+
+TEST(SnfslintTest, TaskDroppedQuiet) {
+  std::vector<std::string> rules = RulesFiredOn("task_dropped_good.cc", "task_dropped_good.cc");
+  EXPECT_EQ(CountRule(rules, "task-dropped"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, NondetFires) {
+  std::vector<std::string> rules = RulesFiredOn("nondet_bad.cc", "nondet_bad.cc");
+  EXPECT_EQ(CountRule(rules, "nondet"), 5);
+}
+
+TEST(SnfslintTest, NondetQuiet) {
+  std::vector<std::string> rules = RulesFiredOn("nondet_good.cc", "nondet_good.cc");
+  EXPECT_EQ(CountRule(rules, "nondet"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, OrderedFiresInSensitiveDir) {
+  std::vector<std::string> rules = RulesFiredOn("ordered_bad.cc", "src/sim/ordered_bad.cc");
+  EXPECT_EQ(CountRule(rules, "ordered"), 2);
+}
+
+TEST(SnfslintTest, OrderedQuietOnSuppressionsAndSnapshots) {
+  std::vector<std::string> rules = RulesFiredOn("ordered_good.cc", "src/sim/ordered_good.cc");
+  EXPECT_EQ(CountRule(rules, "ordered"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, OrderedScopedToSensitiveDirs) {
+  // The same hazardous fixture is fine outside the order-sensitive tree.
+  std::vector<std::string> rules = RulesFiredOn("ordered_bad.cc", "src/workload/ordered_bad.cc");
+  EXPECT_EQ(CountRule(rules, "ordered"), 0);
+}
+
+TEST(SnfslintTest, UnusedStatusFires) {
+  std::vector<std::string> rules = RulesFiredOn("unused_status_bad.cc", "unused_status_bad.cc");
+  EXPECT_EQ(CountRule(rules, "unused-status"), 3);
+}
+
+TEST(SnfslintTest, UnusedStatusQuiet) {
+  std::vector<std::string> rules = RulesFiredOn("unused_status_good.cc", "unused_status_good.cc");
+  EXPECT_EQ(CountRule(rules, "unused-status"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, TaskFunctionsMatchedAcrossFiles) {
+  // A Task-returning function declared in one file is tracked at call sites
+  // in another.
+  Linter linter;
+  linter.AddFile("decl.h", "namespace x { sim::Task<void> Background(); }\n");
+  linter.AddFile("use.cc", "void F() { x::Background(); }\n");
+  std::vector<Diagnostic> diags = linter.Run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "task-dropped");
+  EXPECT_EQ(diags[0].file, "use.cc");
+}
+
+TEST(SnfslintTest, AmbiguousNamesStayQuiet) {
+  // `Run` is Task-returning in one class and void in another; the textual
+  // matcher cannot resolve the overload, so neither statement rule fires.
+  Linter linter;
+  linter.AddFile("a.h", "struct A { sim::Task<void> Run(); };\n");
+  linter.AddFile("b.h", "struct B { void Run(); };\n");
+  linter.AddFile("use.cc", "void F(B& b) { b.Run(); }\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(SnfslintTest, MixedTaskPayloadSkipsUnusedStatus) {
+  // `Write` returns Task<Result<...>> in one class and Task<void> in
+  // another: awaiting it without consuming the value is not flaggable.
+  Linter linter;
+  linter.AddFile("a.h", "struct A { sim::Task<base::Result<void>> Write(int fd); };\n");
+  linter.AddFile("b.h", "struct B { sim::Task<void> Write(int bytes); };\n");
+  linter.AddFile("use.cc", "sim::Task<void> F(B& b) { co_await b.Write(1); }\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(SnfslintTest, UnorderedVarsScopedToPairedFiles) {
+  // An unordered member in one class must not taint a same-named ordered
+  // container in an unrelated file.
+  Linter linter;
+  linter.AddFile("src/rpc/a.h", "struct A { std::unordered_map<int, int> items_; };\n");
+  linter.AddFile("src/rpc/a.cc",
+                 "int A::Sum() { int t = 0; for (auto& [k, v] : items_) t += v; return t; }\n");
+  linter.AddFile("src/rpc/b.cc",
+                 "int Other() { std::map<int, int> items_; int t = 0;"
+                 " for (auto& [k, v] : items_) t += v; return t; }\n");
+  std::vector<Diagnostic> diags = linter.Run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "ordered");
+  EXPECT_EQ(diags[0].file, "src/rpc/a.cc");
+}
+
+TEST(LexerTest, SuppressionOnOwnAndNextLine) {
+  LexResult lex = Lex(
+      "int a;  // lint: ordered-ok\n"
+      "// lint: coro-ref-ok nondet-ok\n"
+      "int b;\n");
+  EXPECT_TRUE(lex.suppressions.at(1).count("ordered"));
+  EXPECT_TRUE(lex.suppressions.at(2).count("coro-ref"));
+  EXPECT_TRUE(lex.suppressions.at(3).count("coro-ref"));
+  EXPECT_TRUE(lex.suppressions.at(3).count("nondet"));
+  EXPECT_EQ(lex.suppressions.count(4), 0u);
+}
+
+TEST(LexerTest, BannedNamesInLiteralsAndCommentsIgnored) {
+  Linter linter;
+  linter.AddFile("src/sim/x.cc",
+                 "// rand() in a comment\n"
+                 "const char* kMsg = \"call rand() later\";\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LexerTest, TracksLinesThroughBlockCommentsAndStrings) {
+  LexResult lex = Lex("/* line1\nline2 */\nint x;\n");
+  ASSERT_EQ(lex.tokens.size(), 3u);
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[0].line, 3);
+}
+
+}  // namespace
+}  // namespace lint

@@ -1,0 +1,107 @@
+// snfslint: project-specific static analysis for the Spritely NFS simulator.
+//
+// Usage: snfslint [--root DIR] [path...]
+//
+// Paths (files or directories, searched recursively for .h/.cc/.cpp/.hpp)
+// are taken relative to --root (default: current directory); with no paths,
+// `src` is linted. Prints `file:line: rule-id: message` diagnostics and
+// exits 1 when any are found. See tools/lint/lint.h for the rule list and
+// the `// lint: <rule>-ok` suppression syntax.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Collects source files under `path` (or `path` itself) into `files`,
+// sorted so diagnostics are stable across platforms.
+bool CollectFiles(const fs::path& path, std::vector<fs::path>& files) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (fs::recursive_directory_iterator it(path, ec), end; it != end; it.increment(ec)) {
+      if (ec) {
+        return false;
+      }
+      if (it->is_regular_file() && IsSourceFile(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+    return true;
+  }
+  if (fs::is_regular_file(path, ec)) {
+    files.push_back(path);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: snfslint [--root DIR] [path...]\n");
+      return 0;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    args.push_back("src");
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& arg : args) {
+    fs::path p = fs::path(arg).is_absolute() ? fs::path(arg) : root / arg;
+    if (!CollectFiles(p, files)) {
+      std::fprintf(stderr, "snfslint: cannot read %s\n", p.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  lint::Linter linter;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "snfslint: cannot open %s\n", file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    // Report paths relative to --root so diagnostics are stable regardless
+    // of where the tool is invoked from.
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    linter.AddFile((ec || rel.empty()) ? file.generic_string() : rel.generic_string(),
+                   buf.str());
+  }
+
+  std::vector<lint::Diagnostic> diags = linter.Run();
+  for (const lint::Diagnostic& d : diags) {
+    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.message.c_str());
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "snfslint: %zu diagnostic(s)\n", diags.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: coro-lambda must fire on a reference-capturing coroutine lambda.
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+void Spawner(sim::Simulator& simulator, int& counter) {
+  simulator.Spawn([&]() -> sim::Task<void> {  // fires
+    ++counter;
+    co_return;
+  }());
+}

@@ -1,0 +1,18 @@
+// Fixture: coro-lambda must stay quiet on value-capturing coroutine lambdas
+// and on reference-capturing lambdas that are plain functions.
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+void Spawner(sim::Simulator& simulator, int counter) {
+  simulator.Spawn([counter]() -> sim::Task<void> { co_return; }());
+
+  int total = 0;
+  auto accumulate = [&total](int x) { total += x; };
+  accumulate(counter);
+
+  std::vector<int> values{1, 2, 3};
+  int first = values[0];  // subscript, not a lambda
+  accumulate(first);
+}

@@ -1,0 +1,12 @@
+// Fixture: coro-ref must fire on const-ref / string_view / span / rvalue-ref
+// parameters of Task-returning functions.
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/sim/task.h"
+
+sim::Task<void> ConstRefParam(const std::string& name);            // fires
+sim::Task<int> ViewParam(std::string_view path);                   // fires
+sim::Task<void> SpanParam(std::span<const char> bytes);            // fires
+sim::Task<void> RvalueParam(std::string&& sink);                   // fires

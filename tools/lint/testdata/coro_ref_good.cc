@@ -1,0 +1,14 @@
+// Fixture: coro-ref must stay quiet on by-value and non-const lvalue
+// reference parameters (long-lived services), and on suppressed lines.
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+sim::Task<void> ByValue(std::string name, int count);
+sim::Task<void> ServiceRef(sim::Simulator& simulator, std::string path);
+sim::Task<void> Waived(const std::string& name);  // lint: coro-ref-ok
+
+// A non-coroutine that merely forwards a Task is also not a declaration of
+// interest when it returns a reference.
+sim::Task<void>& TaskRef();

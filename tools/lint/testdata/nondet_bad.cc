@@ -1,0 +1,14 @@
+// Fixture: nondet must fire on ambient randomness and wall-clock time.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned AmbientEntropy() {
+  std::random_device rd;                                   // fires
+  std::srand(rd());                                        // fires
+  unsigned r = std::rand();                                // fires
+  r += static_cast<unsigned>(time(nullptr));               // fires
+  auto now = std::chrono::system_clock::now();             // fires
+  return r + static_cast<unsigned>(now.time_since_epoch().count());
+}

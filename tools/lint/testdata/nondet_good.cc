@@ -1,0 +1,18 @@
+// Fixture: nondet must stay quiet on the simulator's seeded RNG and clock,
+// on members that merely share a banned name, and on suppressed lines.
+#include <ctime>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+struct Telemetry {
+  unsigned time(int scale) { return 7u * scale; }
+};
+
+uint64_t SeededDraw(sim::Simulator& simulator, sim::Rng& rng) {
+  Telemetry t;
+  uint64_t x = rng.Next() + t.time(2);
+  x += static_cast<uint64_t>(simulator.Now());
+  x += static_cast<uint64_t>(time(nullptr));  // lint: nondet-ok
+  return x;
+}

@@ -1,0 +1,22 @@
+// Fixture: ordered must fire on range-for over an unordered container when
+// the file lives in an order-sensitive directory (the test registers this
+// fixture under src/sim/).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Table {
+  std::unordered_map<uint64_t, int> entries_;
+  std::unordered_set<uint64_t> live_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [key, value] : entries_) {  // fires
+      total += value;
+    }
+    for (uint64_t id : live_) {  // fires
+      total += static_cast<int>(id);
+    }
+    return total;
+  }
+};

@@ -1,0 +1,33 @@
+// Fixture: ordered must stay quiet on ordered containers, on suppressed
+// lines, and on sorted snapshots of unordered containers.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Table {
+  std::map<uint64_t, int> ordered_entries_;
+  std::unordered_map<uint64_t, int> entries_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [key, value] : ordered_entries_) {
+      total += value;
+    }
+    // Aggregation is insensitive to iteration order.
+    for (const auto& [key, value] : entries_) {  // lint: ordered-ok
+      total += value;
+    }
+    std::vector<uint64_t> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, value] : entries_) {  // lint: ordered-ok
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+      total += static_cast<int>(key);
+    }
+    return total;
+  }
+};

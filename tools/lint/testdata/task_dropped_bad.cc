@@ -1,0 +1,10 @@
+// Fixture: task-dropped must fire on a bare (or (void)-cast) call to a
+// Task-returning function: lazy tasks never run when dropped.
+#include "src/sim/task.h"
+
+sim::Task<void> Background();
+
+void Caller() {
+  Background();        // fires
+  (void)Background();  // fires: a never-started task is destroyed unrun
+}

@@ -1,0 +1,17 @@
+// Fixture: task-dropped must stay quiet when the task is awaited, stored,
+// spawned, or returned.
+#include <utility>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+sim::Task<void> Background();
+
+sim::Task<void> Caller(sim::Simulator& simulator) {
+  co_await Background();
+  sim::Task<void> kept = Background();
+  simulator.Spawn(std::move(kept));
+  simulator.Spawn(Background());
+}
+
+sim::Task<void> Forwarder() { return Background(); }

@@ -1,0 +1,15 @@
+// Fixture: unused-status must fire when a Status/Result return value is
+// silently dropped, including the payload of an awaited task.
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/sim/task.h"
+
+base::Status Apply();
+base::Result<int> Compute();
+sim::Task<base::Result<void>> Flush();
+
+sim::Task<void> Caller() {
+  Apply();            // fires
+  Compute();          // fires
+  co_await Flush();   // fires: the awaited Result is dropped
+}

@@ -1,0 +1,21 @@
+// Fixture: unused-status must stay quiet when the value is consumed,
+// explicitly discarded with (void), or suppressed.
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/sim/task.h"
+
+base::Status Apply();
+base::Result<int> Compute();
+sim::Task<base::Result<void>> Flush();
+
+sim::Task<base::Status> Caller() {
+  base::Status status = Apply();
+  if (!status.ok()) {
+    co_return status;
+  }
+  base::Result<int> result = Compute();
+  (void)Compute();
+  (void)co_await Flush();
+  Apply();  // lint: unused-status-ok
+  co_return base::OkStatus();
+}
