@@ -61,8 +61,8 @@ int main() {
 
     // A temporary file that dies young never reaches the server at all.
     uint64_t writes_before = alice.peer().client_ops().Get(proto::OpKind::kWrite);
-    co_await a.WriteFile("/data/scratch.tmp", std::vector<uint8_t>(64 * 1024, 0x5A));
-    co_await a.Unlink("/data/scratch.tmp");
+    (void)co_await a.WriteFile("/data/scratch.tmp", std::vector<uint8_t>(64 * 1024, 0x5A));
+    (void)co_await a.Unlink("/data/scratch.tmp");
     std::printf("[%8.3fs] alice created+deleted a 64 KB temp file: %llu write RPCs\n",
                 sim::ToSeconds(alice.simulator().Now()),
                 static_cast<unsigned long long>(

@@ -178,7 +178,7 @@ class BufferCache {
 
   Entry* Find(const Key& key);
   void Touch(Entry& entry, const Key& key);
-  Entry& InsertEntry(const Key& key, std::vector<uint8_t> data, bool dirty);
+  Entry& InsertEntry(const Key& key, std::vector<uint8_t> data, bool dirty);  // lint: unstable-source
   void EraseEntry(const Key& key);
   void MarkDirty(const Key& key, Entry& entry);
   void MarkClean(const Key& key, Entry& entry);

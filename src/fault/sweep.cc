@@ -76,7 +76,9 @@ sim::Task<void> ClientWorkload(sim::Simulator& simulator, SeedRun& run,
                                testbed::ClientMachine& machine, int index, uint64_t seed) {
   const SweepOptions& opt = *run.options;
   sim::Rng rng(seed * 1000 + static_cast<uint64_t>(index) + 1);
-  std::vector<FileOracle>& files = run.oracles[index];
+  // Oracles are sized once in RunFaultSeed and never resized, so references
+  // into them stay valid across suspensions.
+  std::vector<FileOracle>& files = run.oracles[index];  // lint: await-stale-ref-ok
 
   while (simulator.Now() < opt.horizon) {
     sim::Duration gap = opt.mean_op_gap;
@@ -85,7 +87,7 @@ sim::Task<void> ClientWorkload(sim::Simulator& simulator, SeedRun& run,
       continue;  // crashed: idle until the schedule restarts us
     }
     int f = static_cast<int>(rng.UniformInt(0, opt.files_per_client - 1));
-    FileOracle& oracle = files[f];
+    FileOracle& oracle = files[f];  // lint: await-stale-ref-ok (never resized)
     std::string path = FilePath(index, f);
     vfs::Vfs& vfs = machine.vfs();
     ++run.stats.ops_attempted;
@@ -178,7 +180,7 @@ sim::Task<void> FinalReadback(sim::Simulator& simulator, SeedRun& run,
   }
   const SweepOptions& opt = *run.options;
   for (int f = 0; f < opt.files_per_client; ++f) {
-    FileOracle& oracle = run.oracles[index][f];
+    FileOracle& oracle = run.oracles[index][f];  // lint: await-stale-ref-ok (never resized)
     if (oracle.committed == 0) {
       continue;
     }

@@ -147,10 +147,12 @@ sim::Task<base::Result<proto::CreateRep>> LocalFs::Create(proto::FileHandle dir,
   Inode& child = AllocInode(proto::FileType::kRegular);
   parent->entries[name] = child.id;
   parent->mtime = simulator_.Now();
-  co_await MetadataWrite();
+  // Snapshot the reply before suspending: the entry is already visible, so a
+  // concurrent Remove during the metadata write would destroy `child`.
   proto::CreateRep rep;
   rep.fh = HandleFor(child);
   rep.attr = AttrFor(child);
+  co_await MetadataWrite();
   co_return rep;
 }
 
@@ -164,10 +166,12 @@ sim::Task<base::Result<proto::CreateRep>> LocalFs::Mkdir(proto::FileHandle dir,
   child.nlink = 2;
   parent->entries[name] = child.id;
   parent->mtime = simulator_.Now();
-  co_await MetadataWrite();
+  // Snapshot the reply before suspending: the entry is already visible, so a
+  // concurrent Rmdir during the metadata write would destroy `child`.
   proto::CreateRep rep;
   rep.fh = HandleFor(child);
   rep.attr = AttrFor(child);
+  co_await MetadataWrite();
   co_return rep;
 }
 
@@ -278,6 +282,8 @@ sim::Task<base::Result<proto::Attr>> LocalFs::SetAttr(proto::FileHandle fh,
     inode->mtime = simulator_.Now();
     CacheEvictFile(inode->id);
     co_await MetadataWrite();
+    // The inode may have been deleted while we were waiting on the disk.
+    CO_ASSIGN_OR_RETURN(inode, Resolve(fh));
   }
   if (req.mtime.has_value()) {
     inode->mtime = *req.mtime;
@@ -301,10 +307,13 @@ sim::Task<base::Result<proto::ReadRep>> LocalFs::Read(proto::FileHandle fh, uint
   if (offset < end) {
     uint64_t first_block = offset / kBlockSize;
     uint64_t last_block = (end - 1) / kBlockSize;
+    // Copy the id out of the inode: each ReadBlock suspends, and the inode
+    // can be destroyed by a concurrent Remove while the disk is busy.
+    uint64_t fileid = inode->id;
     for (uint64_t b = first_block; b <= last_block; ++b) {
-      if (!CacheHit(inode->id, b)) {
-        co_await disk_.ReadBlock(inode->id, b, kBlockSize);
-        CacheInsert(inode->id, b);
+      if (!CacheHit(fileid, b)) {
+        co_await disk_.ReadBlock(fileid, b, kBlockSize);
+        CacheInsert(fileid, b);
       }
     }
     // The inode may have been deleted while we were waiting on the disk.

@@ -121,7 +121,7 @@ class LocalFs {
   base::Result<Inode*> ResolveDir(proto::FileHandle fh);
   proto::FileHandle HandleFor(const Inode& inode) const;
   proto::Attr AttrFor(const Inode& inode) const;
-  Inode& AllocInode(proto::FileType type);
+  Inode& AllocInode(proto::FileType type);  // lint: unstable-source
   void DestroyInode(uint64_t id);
 
   // Structural (metadata) write: synchronous when params_.sync_metadata.

@@ -129,7 +129,7 @@ class StateTable {
   void CheckInvariants() const;
 
  private:
-  Entry& GetOrCreate(const proto::FileHandle& fh, uint64_t stable_version);
+  Entry& GetOrCreate(const proto::FileHandle& fh, uint64_t stable_version);  // lint: unstable-source
   static ClientInfo* FindClient(Entry& entry, int host);
   static uint32_t TotalOpens(const Entry& entry);
   static uint32_t TotalWriters(const Entry& entry);

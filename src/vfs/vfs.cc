@@ -58,11 +58,14 @@ base::Result<Vfs::MountPoint*> Vfs::FindMount(const std::string& path, std::stri
 sim::Task<base::Result<Vfs::Resolved>> Vfs::ResolvePath(std::string path) {
   std::string rest;
   CO_ASSIGN_OR_RETURN(MountPoint * mount, FindMount(path, &rest));
-  CO_ASSIGN_OR_RETURN(GnodeRef node, co_await mount->fs->Root());
+  // Copy the filesystem pointer out of the mount entry before suspending: a
+  // Mount() while we walk the path would grow mounts_ and move its elements.
+  FileSystem* fs = mount->fs;
+  CO_ASSIGN_OR_RETURN(GnodeRef node, co_await fs->Root());
   for (const std::string& comp : SplitComponents(rest)) {
-    CO_ASSIGN_OR_RETURN(node, co_await mount->fs->Lookup(node, comp));
+    CO_ASSIGN_OR_RETURN(node, co_await fs->Lookup(node, comp));
   }
-  co_return Resolved{mount->fs, std::move(node)};
+  co_return Resolved{fs, std::move(node)};
 }
 
 sim::Task<base::Result<Vfs::ResolvedParent>> Vfs::ResolveParent(std::string path) {
@@ -72,11 +75,14 @@ sim::Task<base::Result<Vfs::ResolvedParent>> Vfs::ResolveParent(std::string path
   if (comps.empty()) {
     co_return base::ErrInval();  // operating on a mount root
   }
-  CO_ASSIGN_OR_RETURN(GnodeRef node, co_await mount->fs->Root());
+  // Copy the filesystem pointer out of the mount entry before suspending
+  // (see ResolvePath).
+  FileSystem* fs = mount->fs;
+  CO_ASSIGN_OR_RETURN(GnodeRef node, co_await fs->Root());
   for (size_t i = 0; i + 1 < comps.size(); ++i) {
-    CO_ASSIGN_OR_RETURN(node, co_await mount->fs->Lookup(node, comps[i]));
+    CO_ASSIGN_OR_RETURN(node, co_await fs->Lookup(node, comps[i]));
   }
-  co_return ResolvedParent{mount->fs, std::move(node), comps.back()};
+  co_return ResolvedParent{fs, std::move(node), comps.back()};
 }
 
 base::Result<Vfs::FdEntry*> Vfs::GetFd(int fd) {

@@ -131,6 +131,114 @@ TEST(LocalFsTest, UnlinkRemovesAndStaleHandles) {
   });
 }
 
+// --- Remove racing a suspended operation -------------------------------------
+//
+// Namespace operations make the new state visible, then suspend for the
+// structural disk write. A Remove that lands in that window destroys the
+// inode the suspended operation was working on; these regressions pin the
+// fixed behaviour (reply snapshotted before the suspension, or the handle
+// re-resolved after it). Run them under ASan to catch reintroduced
+// use-after-free: pre-fix, each touched the destroyed inode on resume.
+
+TEST(LocalFsTest, CreateReplySurvivesConcurrentRemove) {
+  sim::Simulator simulator;
+  disk::Disk disk{simulator};
+  LocalFs fs{simulator, disk, LocalFsParams{.fsid = 1, .cache_blocks = 0}};
+  bool created = false;
+  bool removed = false;
+  simulator.Spawn([](LocalFs& fs, bool& created) -> sim::Task<void> {
+    auto rep = co_await fs.Create(fs.root(), "victim", /*exclusive=*/true);
+    EXPECT_TRUE(rep.ok());
+    if (rep.ok()) {
+      EXPECT_NE(rep->fh.fileid, 0u);
+      EXPECT_EQ(rep->attr.size, 0u);
+      // The file was already deleted when the metadata write finished.
+      EXPECT_FALSE(fs.GetAttr(rep->fh).ok());
+    }
+    created = true;
+  }(fs, created));
+  simulator.Spawn([](LocalFs& fs, bool& removed) -> sim::Task<void> {
+    // Runs while Create is suspended in its metadata write: the entry is
+    // already visible, so the remove succeeds and destroys the inode.
+    EXPECT_TRUE((co_await fs.Remove(fs.root(), "victim")).ok());
+    removed = true;
+  }(fs, removed));
+  simulator.Run();
+  EXPECT_TRUE(created);
+  EXPECT_TRUE(removed);
+}
+
+TEST(LocalFsTest, SetAttrDuringConcurrentRemoveReturnsStale) {
+  sim::Simulator simulator;
+  disk::Disk disk{simulator};
+  LocalFs fs{simulator, disk, LocalFsParams{.fsid = 1, .cache_blocks = 0}};
+  proto::FileHandle fh;
+  bool ready = false;
+  simulator.Spawn([](LocalFs& fs, proto::FileHandle& fh, bool& ready) -> sim::Task<void> {
+    auto rep = co_await fs.Create(fs.root(), "f", /*exclusive=*/true);
+    EXPECT_TRUE(rep.ok());
+    fh = rep->fh;
+    ready = true;
+  }(fs, fh, ready));
+  simulator.Run();
+  ASSERT_TRUE(ready);
+
+  bool truncated = false;
+  bool removed = false;
+  simulator.Spawn([](LocalFs& fs, proto::FileHandle fh, bool& truncated) -> sim::Task<void> {
+    proto::SetAttrReq req;
+    req.size = 0;
+    auto attr = co_await fs.SetAttr(fh, req);
+    // The inode died during the metadata write; the re-resolve must report
+    // that rather than answer from freed memory.
+    EXPECT_EQ(attr.status(), base::ErrStale());
+    truncated = true;
+  }(fs, fh, truncated));
+  simulator.Spawn([](LocalFs& fs, bool& removed) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fs.Remove(fs.root(), "f")).ok());
+    removed = true;
+  }(fs, removed));
+  simulator.Run();
+  EXPECT_TRUE(truncated);
+  EXPECT_TRUE(removed);
+}
+
+TEST(LocalFsTest, ReadDuringConcurrentRemoveReturnsStale) {
+  sim::Simulator simulator;
+  disk::Disk disk{simulator};
+  LocalFs fs{simulator, disk, LocalFsParams{.fsid = 1, .cache_blocks = 0}};
+  proto::FileHandle fh;
+  bool ready = false;
+  simulator.Spawn([](LocalFs& fs, proto::FileHandle& fh, bool& ready) -> sim::Task<void> {
+    auto rep = co_await fs.Create(fs.root(), "f", /*exclusive=*/true);
+    EXPECT_TRUE(rep.ok());
+    fh = rep->fh;
+    // Populate in memory only so the read below must miss the server cache
+    // and suspend on the disk.
+    auto attr = co_await fs.Write(fh, 0, Bytes("payload"), LocalFs::WriteMode::kMemory);
+    EXPECT_TRUE(attr.ok());
+    ready = true;
+  }(fs, fh, ready));
+  simulator.Run();
+  ASSERT_TRUE(ready);
+
+  bool read_done = false;
+  bool removed = false;
+  simulator.Spawn([](LocalFs& fs, proto::FileHandle fh, bool& read_done) -> sim::Task<void> {
+    auto rep = co_await fs.Read(fh, 0, kBlockSize);
+    // The remove landed while the disk read was in flight.
+    EXPECT_EQ(rep.status(), base::ErrStale());
+    read_done = true;
+  }(fs, fh, read_done));
+  simulator.Spawn([](LocalFs& fs, bool& removed) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fs.Remove(fs.root(), "f")).ok());
+    removed = true;
+  }(fs, removed));
+  simulator.Run();
+  EXPECT_TRUE(read_done);
+  EXPECT_TRUE(removed);
+}
+
 TEST(LocalFsTest, RmdirOnlyWhenEmpty) {
   Rig rig;
   RUN_SIM(rig, {
@@ -311,11 +419,13 @@ TEST(BufferCacheTest, LruEvictionBoundsSize) {
   cache::BufferCache cache(simulator, params);
   cache::Backing backing;
   int fetches = 0;
+  // lint: coro-lambda-ok (backing and counters share the test scope)
   backing.fetch = [&fetches](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
     ++fetches;
     co_return std::vector<uint8_t>(cache::kBlockSize, 0xAB);
   };
   int stores = 0;
+  // lint: coro-lambda-ok (backing and counters share the test scope)
   backing.store = [&stores](uint64_t, uint64_t,
                             std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
     ++stores;
@@ -351,6 +461,7 @@ TEST(BufferCacheTest, DirtyEvictionWritesBack) {
   backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
     co_return std::vector<uint8_t>();
   };
+  // lint: coro-lambda-ok (backing and counters share the test scope)
   backing.store = [&stores](uint64_t, uint64_t,
                             std::vector<uint8_t> data) -> sim::Task<base::Result<void>> {
     ++stores;
@@ -373,6 +484,64 @@ TEST(BufferCacheTest, DirtyEvictionWritesBack) {
   EXPECT_LE(cache.size_blocks(), 4u);
 }
 
+TEST(BufferCacheTest, RedirtyDuringEvictionWritebackKeepsNewestData) {
+  // Guard for the eviction interleaving: a dirty block's eviction write-back
+  // suspends in the backing store, the block is re-dirtied meanwhile, and a
+  // flush of the new data must wait out the in-flight store (StoreBlock's
+  // in_flight_stores_ check) so the older bytes can never land last.
+  sim::Simulator simulator;
+  cache::BufferCacheParams params;
+  params.capacity_blocks = 1;
+  params.enable_sync_daemon = false;
+  cache::BufferCache cache(simulator, params);
+  cache::Backing backing;
+  // Every store takes 10 ms, so the eviction write-back is still in flight
+  // when the test re-dirties the block. Completions are logged in order.
+  std::vector<std::pair<uint64_t, uint8_t>> landed;  // (block, first byte)
+  std::map<uint64_t, std::vector<uint8_t>> disk;
+  backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    co_return std::vector<uint8_t>();
+  };
+  // lint: coro-lambda-ok (backing and logs share the test scope)
+  backing.store = [&simulator, &landed, &disk](
+                      uint64_t, uint64_t block,
+                      std::vector<uint8_t> data) -> sim::Task<base::Result<void>> {
+    co_await sim::Sleep(simulator, sim::Msec(10));
+    landed.emplace_back(block, data.empty() ? 0 : data[0]);
+    disk[block] = std::move(data);
+    co_return base::OkStatus();
+  };
+  int mount = cache.RegisterMount(std::move(backing));
+  bool completed = false;
+  simulator.Spawn([](cache::BufferCache& cache, int mount, bool& completed) -> sim::Task<void> {
+    std::vector<uint8_t> v1(cache::kBlockSize, 0x01);
+    std::vector<uint8_t> v2(cache::kBlockSize, 0x02);
+    std::vector<uint8_t> v3(cache::kBlockSize, 0x03);
+    // Dirty block 0, then dirty block 1: the one-block cache evicts block 0,
+    // whose slow write-back (v1) is now in flight.
+    EXPECT_TRUE((co_await cache.WriteDelayed(mount, 1, 0, v1, 0)).ok());
+    EXPECT_TRUE((co_await cache.WriteDelayed(mount, 1, cache::kBlockSize, v2, 0)).ok());
+    // Re-dirty block 0 with newer bytes while the v1 store is sleeping.
+    EXPECT_TRUE((co_await cache.WriteDelayed(mount, 1, 0, v3, 0)).ok());
+    co_await cache.FlushAll();
+    completed = true;
+  }(cache, mount, completed));
+  simulator.Run();
+  EXPECT_TRUE(completed);
+  // Block 0 was stored twice, strictly old-then-new.
+  std::vector<uint8_t> block0_order;
+  for (const auto& [block, byte] : landed) {
+    if (block == 0) {
+      block0_order.push_back(byte);
+    }
+  }
+  EXPECT_EQ(block0_order, (std::vector<uint8_t>{0x01, 0x03}));
+  ASSERT_EQ(disk.count(0), 1u);
+  ASSERT_EQ(disk.count(1), 1u);
+  EXPECT_EQ(disk[0], std::vector<uint8_t>(cache::kBlockSize, 0x03));
+  EXPECT_EQ(disk[1], std::vector<uint8_t>(cache::kBlockSize, 0x02));
+}
+
 TEST(BufferCacheTest, AgeBasedSyncOnlyWritesOldBlocks) {
   sim::Simulator simulator;
   cache::BufferCacheParams params;
@@ -386,6 +555,7 @@ TEST(BufferCacheTest, AgeBasedSyncOnlyWritesOldBlocks) {
   backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
     co_return std::vector<uint8_t>();
   };
+  // lint: coro-lambda-ok (backing and counters share the test scope)
   backing.store = [&stores](uint64_t, uint64_t,
                             std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
     ++stores;
@@ -415,6 +585,7 @@ TEST(BufferCacheTest, CancelDirtyDropsWithoutStore) {
   backing.fetch = [](uint64_t, uint64_t) -> sim::Task<base::Result<std::vector<uint8_t>>> {
     co_return std::vector<uint8_t>();
   };
+  // lint: coro-lambda-ok (backing and counters share the test scope)
   backing.store = [&stores](uint64_t, uint64_t,
                             std::vector<uint8_t>) -> sim::Task<base::Result<void>> {
     ++stores;

@@ -183,5 +183,77 @@ TEST(HybridTest, ReadLeaseUpgradesToWriteLease) {
   EXPECT_TRUE(done);
 }
 
+TEST(HybridTest, LeaseExpiresDuringUpgradeOpen) {
+  // Regression: TouchLease used to hold an iterator into leases_ across the
+  // upgrade open. When the open stalls (here: an SNFS callback answered
+  // after 30 s) past the lease horizon, the LeaseDaemon erases the entry
+  // mid-flight; the server must re-find the lease instead of writing
+  // through the dead iterator, and track the write open under a fresh one.
+  sim::Simulator simulator;
+  net::Network network(simulator, {}, 13);
+  sim::Cpu server_cpu(simulator);
+  sim::Cpu client_cpu(simulator);
+  disk::Disk disk(simulator);
+  fs::LocalFs fs(simulator, disk, fs::LocalFsParams{.fsid = 1, .cache_blocks = 896});
+  rpc::Peer server_peer(simulator, network, server_cpu, "server");
+  HybridServerParams params;
+  params.nfs_lease = sim::Sec(10);
+  params.lease_scan = sim::Sec(5);
+  // One unhurried callback attempt so the stalled reply is what ends the
+  // upgrade open (retries would muddy the window).
+  params.snfs.callback_call = rpc::CallOptions{.timeout = sim::Sec(60), .max_attempts = 2};
+  HybridServer hybrid(simulator, fs, server_peer, params);
+  // A bare SNFS peer that answers callbacks only after 30 s: long enough
+  // for the NFS lease to expire while the upgrade open waits on it.
+  rpc::Peer snfs_peer(simulator, network, client_cpu, "snfs-client");
+  snfs_peer.set_handler(
+      // lint: coro-lambda-ok (handler and simulator share the test scope)
+      [&simulator](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+        co_await sim::Sleep(simulator, sim::Sec(30));
+        co_return proto::OkReply(proto::CallbackRep{});
+      });
+  server_peer.Start();
+  snfs_peer.Start();
+
+  bool done = false;
+  simulator.Spawn([](fs::LocalFs& fs, HybridServer& hybrid, rpc::Peer& snfs_peer,
+                     bool& done) -> sim::Task<void> {
+    auto created = co_await fs.Create(fs.root(), "f", /*exclusive=*/true);
+    EXPECT_TRUE(created.ok());
+    if (!created.ok()) {
+      co_return;
+    }
+    proto::FileHandle fh = created->fh;
+
+    // The SNFS host takes an explicit read open, so a write open from the
+    // NFS host must call it back (slowly) before completing.
+    proto::OpenReq open;
+    open.fh = fh;
+    (void)co_await hybrid.Handle(proto::Request(open), snfs_peer.address());
+
+    // NFS read -> implicit read open held as a lease (read sharing with the
+    // SNFS host needs no callback, so this is quick).
+    proto::ReadReq read;
+    read.fh = fh;
+    read.count = 1;
+    (void)co_await hybrid.Handle(proto::Request(read), net::Address{77});
+    EXPECT_EQ(hybrid.active_leases(), 1u);
+
+    // NFS write -> lease upgrade. The write open stalls ~30 s on the SNFS
+    // callback; the 10 s lease expires and the daemon erases it mid-open.
+    proto::WriteReq write;
+    write.fh = fh;
+    write.data = {0x5A};
+    (void)co_await hybrid.Handle(proto::Request(write), net::Address{77});
+
+    EXPECT_EQ(hybrid.implicit_opens(), 2u);  // read open + upgrade open
+    EXPECT_GE(hybrid.lease_closes(), 1u);    // the daemon reaped the read lease
+    EXPECT_EQ(hybrid.active_leases(), 1u);   // fresh lease tracking the write open
+    done = true;
+  }(fs, hybrid, snfs_peer, done));
+  simulator.Run();
+  EXPECT_TRUE(done);
+}
+
 }  // namespace
 }  // namespace snfs

@@ -110,6 +110,7 @@ TEST(RpcTest, RetransmitsUnderPacketLossAndSucceeds) {
   Rig rig(params);
   int executions = 0;
   rig.server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&executions](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
         ++executions;
         co_return proto::OkReply(proto::NullRep{});
@@ -143,6 +144,7 @@ TEST(RpcTest, DuplicateRequestsExecuteExactlyOnce) {
   Rig rig(params);
   int executions = 0;
   rig.server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&executions, &rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
         ++executions;
         co_await sim::Sleep(rig.simulator, sim::Msec(200));
@@ -195,6 +197,7 @@ TEST(RpcTest, ServerCanCallBackIntoClient) {
     co_return proto::OkReply(proto::CallbackRep{});
   });
   rig.server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&rig](const proto::Request&, net::Address from) -> sim::Task<proto::Reply> {
         proto::CallbackReq cb;
         cb.invalidate = true;
@@ -224,6 +227,7 @@ TEST(RpcTest, WorkerPoolBoundsConcurrency) {
   int running = 0;
   int peak = 0;
   rig.server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
         ++running;
         peak = std::max(peak, running);
@@ -250,6 +254,7 @@ TEST(RpcTest, WireSizeScalesWithPayload) {
 
 TEST(RpcTest, ShutdownFailsPendingCalls) {
   Rig rig;
+  // lint: coro-lambda-ok (handler and captures share the test scope)
   rig.server.set_handler([&rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
     co_await sim::Sleep(rig.simulator, sim::Sec(100));
     co_return proto::OkReply(proto::NullRep{});
@@ -278,6 +283,7 @@ TEST(RpcTest, GhostRepliesFromDeadGenerationAreDropped) {
   Rig rig;
   int executions = 0;
   rig.server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&executions, &rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
         int n = ++executions;
         co_await sim::Sleep(rig.simulator, sim::Msec(100));
@@ -315,6 +321,7 @@ TEST(RpcTest, ShutdownClearsPendingCallsImmediately) {
   // straggles in after a restart must find no promise from the previous
   // incarnation, and repeated crash cycles must not grow the map.
   Rig rig;
+  // lint: coro-lambda-ok (handler and captures share the test scope)
   rig.server.set_handler([&rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
     co_await sim::Sleep(rig.simulator, sim::Sec(100));
     co_return proto::OkReply(proto::NullRep{});
@@ -341,6 +348,7 @@ TEST(RpcTest, DupCacheEvictionIsBoundedWithInProgressEntries) {
   server_opts.dup_cache_entries = 4;
   Rig rig({}, server_opts);
   rig.server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&rig](const proto::Request& req, net::Address) -> sim::Task<proto::Reply> {
         if (std::holds_alternative<proto::NullReq>(req)) {
           co_await sim::Sleep(rig.simulator, sim::Sec(5000));  // park

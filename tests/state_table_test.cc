@@ -373,6 +373,36 @@ TEST(StateTableReclaim, ClosedDirtyNeedsWritebackCallback) {
   }
 }
 
+TEST(StateTableReclaim, ReopenDuringReclaimCallbackKeepsEntry) {
+  // Guard for the interleaving in SnfsServer::ReclaimEntries: the reclaim
+  // writeback callback suspends, and the client can re-open the file before
+  // it completes. The entry the plan named must survive — MarkFlushed
+  // downgrades the re-opened entry instead of dropping it, and the server's
+  // post-callback re-lookup (state != CLOSED) must skip the Forget.
+  StateTable t(StateTableParams{.max_entries = 1});
+  t.OnOpen(kFile, kHostA, /*write=*/true, /*stable_version=*/1);
+  t.OnClose(kFile, kHostA, /*write=*/true, /*has_dirty=*/true);  // CLOSED_DIRTY
+  proto::FileHandle other{1, 43, 0};
+  t.OnOpen(other, kHostB, false, 1);  // pushes the table over its limit
+  auto plans = t.PlanReclaim();
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].fh.fileid, kFile.fileid);
+  EXPECT_TRUE(plans[0].callback.writeback);
+
+  // Callback in flight; the client re-opens first.
+  t.OnOpen(kFile, kHostA, /*write=*/false, 1);
+  EXPECT_EQ(StateOf(t), FileState::kOneRdrDirty);
+
+  // Callback completes: the dirty blocks are at the server, but the file is
+  // open again — it must downgrade, not disappear.
+  t.MarkFlushed(kFile);
+  const StateTable::Entry* entry = t.Lookup(kFile);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, FileState::kOneReader);
+  EXPECT_TRUE(t.HostHasOpen(kFile, kHostA));
+  t.CheckInvariants();
+}
+
 // --- Recovery (reopen) ----------------------------------------------------------
 
 TEST(StateTableRecovery, ReopenRebuildsSingleWriter) {

@@ -30,6 +30,7 @@ TEST_P(RpcLossSweep, AllCallsCompleteExactlyOnce) {
   rpc::Peer server(simulator, network, server_cpu, "server");
   int executions = 0;
   server.set_handler(
+      // lint: coro-lambda-ok (handler and captures share the test scope)
       [&executions](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
         ++executions;
         co_return proto::OkReply(proto::NullRep{});
@@ -75,12 +76,14 @@ TEST_P(CacheCapacitySweep, RandomWorkloadMatchesBackingStore) {
   auto store_map = std::make_shared<std::map<std::pair<uint64_t, uint64_t>,
                                              std::vector<uint8_t>>>();
   cache::Backing backing;
+  // lint: coro-lambda-ok (backing and simulator share the test scope)
   backing.fetch = [store_map, &simulator](uint64_t file, uint64_t block)
       -> sim::Task<base::Result<std::vector<uint8_t>>> {
     co_await sim::Sleep(simulator, sim::Msec(5));
     auto it = store_map->find({file, block});
     co_return it == store_map->end() ? std::vector<uint8_t>() : it->second;
   };
+  // lint: coro-lambda-ok (backing and simulator share the test scope)
   backing.store = [store_map, &simulator](uint64_t file, uint64_t block,
                                           std::vector<uint8_t> data)
       -> sim::Task<base::Result<void>> {
@@ -109,9 +112,9 @@ TEST_P(CacheCapacitySweep, RandomWorkloadMatchesBackingStore) {
         oracle[{file, block}] = fill;
         file_size[file] = std::max(file_size[file], (block + 1) * cache::kBlockSize);
       } else {
-        auto it = oracle.find({file, block});
         auto got = co_await cache.Read(mount, file, block * cache::kBlockSize,
                                        cache::kBlockSize, file_size[file], rng.Bernoulli(0.5));
+        auto it = oracle.find({file, block});
         EXPECT_TRUE(got.ok());
         if (got.ok() && it != oracle.end()) {
           EXPECT_EQ(got->size(), cache::kBlockSize);

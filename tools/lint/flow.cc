@@ -1,0 +1,874 @@
+// Flow-sensitive suspension-point analysis (rules: await-stale-ref,
+// await-cached-size).
+//
+// The pass walks every function body that directly contains a suspension
+// point (`co_await` / `co_yield`), parsing the token stream into a statement
+// tree. An abstract state maps local variable names to the *unstable source*
+// they were bound from — a function returning a raw pointer / reference into
+// a container, a container lookup (`.find()`, `.begin()`, `operator[]`,
+// `.at()`), the address of a container element, or a size/emptiness snapshot.
+// Crossing a suspension point marks every tracked binding stale; a stale
+// binding that is subsequently dereferenced (await-stale-ref) or branched on
+// (await-cached-size) without re-acquisition is diagnosed.
+//
+// Deliberate approximations, chosen to keep the idiomatic repair patterns
+// quiet (re-lookup after the await, value-copy before it):
+//  * An initializer containing `co_await` produces a *stable* value: it was
+//    created fresh at the suspension point itself.
+//  * Value copies of a member through a tracked pointer (`FileSystem* fs =
+//    mount->fs;`) are stable — copying before suspension is the fix.
+//    Reference bindings into the pointee (`auto& e = it->second;`) inherit
+//    instability.
+//  * Branches that end in `return` / `co_return` / `break` / `continue` /
+//    `throw` do not merge their state into the fall-through path.
+//  * Loop bodies are analyzed twice so a binding made before (or during) the
+//    first iteration is seen stale by the second when the body suspends.
+//  * Range-for declarations and structured bindings are not tracked, and
+//    nested lambdas are skipped (a lambda body is analyzed as its own
+//    function; its suspensions do not suspend the enclosing function).
+//  * Size snapshots are tracked only when taken from a member container
+//    (root identifier ending in `_`, or reached through `->`): a snapshot of
+//    a function-local container cannot be invalidated by another coroutine.
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace lint {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsIdent(const std::vector<Token>& t, size_t i, const char* text = nullptr) {
+  return i < t.size() && t[i].kind == TokKind::kIdent && (text == nullptr || t[i].text == text);
+}
+
+bool IsPunct(const std::vector<Token>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == text;
+}
+
+// Container member functions returning iterators into the container.
+bool IsIteratorFn(const std::string& s) {
+  static const std::set<std::string> kFns = {"find",    "begin",      "end",
+                                             "rbegin",  "rend",       "cbegin",
+                                             "cend",    "lower_bound", "upper_bound"};
+  return kFns.count(s) > 0;
+}
+
+// Container member functions returning a reference to an element.
+bool IsElementFn(const std::string& s) {
+  return s == "at" || s == "front" || s == "back";
+}
+
+bool IsSizeFn(const std::string& s) { return s == "size" || s == "empty" || s == "count"; }
+
+// What a tracked local holds.
+struct VarInfo {
+  enum Kind {
+    kPtr,   // raw pointer into a container (uses: ->, unary *, [])
+    kIter,  // iterator (uses: ->, unary *, ++/--)
+    kRef,   // reference to a container element (uses: any mention)
+    kSize,  // size/emptiness snapshot (uses: mention in a branch condition)
+  };
+  Kind kind = kPtr;
+  int bind_line = 0;
+  std::string source;    // human-readable origin for the message
+  bool stale = false;    // a suspension point intervened since binding
+};
+
+struct FlowState {
+  std::map<std::string, VarInfo> vars;
+  bool reachable = true;
+};
+
+const char* KindNoun(VarInfo::Kind k) {
+  switch (k) {
+    case VarInfo::kPtr: return "a pointer";
+    case VarInfo::kIter: return "an iterator";
+    case VarInfo::kRef: return "a reference";
+    case VarInfo::kSize: return "a size snapshot";
+  }
+  return "a value";
+}
+
+// Sink for diagnostics: (use line, binding line, rule, message). A
+// suppression on either line absorbs the diagnostic, so one annotation on a
+// binding can waive every downstream use of that binding.
+using EmitFn = std::function<void(int, int, const std::string&, std::string)>;
+
+class FlowPass {
+ public:
+  FlowPass(const std::vector<Token>& t, const std::set<std::string>& unstable_fns, EmitFn emit)
+      : t_(t), unstable_fns_(unstable_fns), emit_(std::move(emit)) {
+    BuildMatchTables();
+  }
+
+  void Run() {
+    for (size_t i = 0; i < t_.size(); ++i) {
+      if (!IsPunct(t_, i, "{")) {
+        continue;
+      }
+      size_t close = match_[i];
+      if (close == kNpos || !IsFunctionBody(i) ||
+          !ContainsSuspension(i + 1, close)) {
+        continue;
+      }
+      FlowState st;
+      AnalyzeStmtList(i + 1, close, st);
+    }
+  }
+
+ private:
+  // --- token geometry --------------------------------------------------------
+
+  void BuildMatchTables() {
+    match_.assign(t_.size(), kNpos);
+    open_of_.assign(t_.size(), kNpos);
+    std::vector<size_t> stack;
+    for (size_t i = 0; i < t_.size(); ++i) {
+      if (t_[i].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t_[i].text;
+      if (p == "(" || p == "{" || p == "[") {
+        stack.push_back(i);
+      } else if (p == ")" || p == "}" || p == "]") {
+        const char* want = p == ")" ? "(" : p == "}" ? "{" : "[";
+        // Pop until the matching opener kind; tolerates unbalanced input.
+        while (!stack.empty() && t_[stack.back()].text != want) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          match_[stack.back()] = i;
+          open_of_[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // `[` beginning a lambda introducer (not a subscript or attribute).
+  bool IsLambdaStart(size_t i) const {
+    if (!IsPunct(t_, i, "[") || IsPunct(t_, i + 1, "[")) {
+      return false;
+    }
+    if (i > 0 && (t_[i - 1].kind == TokKind::kIdent || t_[i - 1].kind == TokKind::kNumber ||
+                  IsPunct(t_, i - 1, ")") || IsPunct(t_, i - 1, "]"))) {
+      return false;
+    }
+    return true;
+  }
+
+  // For a lambda starting at `[` index i, returns the index just past its
+  // body's closing `}` (or kNpos when no body is found nearby).
+  size_t SkipLambda(size_t i) const {
+    size_t close = match_[i];
+    if (close == kNpos) {
+      return kNpos;
+    }
+    size_t j = close + 1;
+    if (IsPunct(t_, j, "(")) {
+      if (match_[j] == kNpos) {
+        return kNpos;
+      }
+      j = match_[j] + 1;
+    }
+    for (size_t k = j; k < t_.size() && k < j + 40; ++k) {
+      if (IsPunct(t_, k, "{")) {
+        return match_[k] == kNpos ? kNpos : match_[k] + 1;
+      }
+      if (IsPunct(t_, k, ";") || IsPunct(t_, k, ")") || IsPunct(t_, k, ",")) {
+        break;
+      }
+    }
+    return kNpos;
+  }
+
+  // True when [begin, end) contains co_await / co_yield outside nested
+  // lambda bodies (a lambda is its own coroutine; its suspensions do not
+  // suspend the enclosing function).
+  bool ContainsSuspension(size_t begin, size_t end) const {
+    for (size_t i = begin; i < end; ++i) {
+      if (IsLambdaStart(i)) {
+        size_t past = SkipLambda(i);
+        if (past != kNpos && past <= end) {
+          i = past - 1;
+          continue;
+        }
+      }
+      if (IsIdent(t_, i) && (t_[i].text == "co_await" || t_[i].text == "co_yield")) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Is the `{` at index b the body of a function (or lambda)? Walk back over
+  // cv-qualifiers and a trailing return type to the parameter list's `)`,
+  // then reject control statements (`if (...) {`) by inspecting the token
+  // before the matching `(`.
+  bool IsFunctionBody(size_t b) const {
+    size_t j = b;
+    while (j > 0) {
+      --j;
+      const Token& tok = t_[j];
+      if (tok.kind == TokKind::kIdent) {
+        continue;  // qualifier or trailing-return-type component
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == "::" || tok.text == "<" || tok.text == ">" || tok.text == "*" ||
+           tok.text == "&" || tok.text == "->" || tok.text == ",")) {
+        continue;
+      }
+      break;
+    }
+    if (IsPunct(t_, j, "]") && open_of_[j] != kNpos && IsLambdaStart(open_of_[j])) {
+      return true;  // `[captures] { ... }` lambda with no parameter list
+    }
+    if (!IsPunct(t_, j, ")") || open_of_[j] == kNpos) {
+      return false;
+    }
+    size_t open = open_of_[j];
+    if (open == 0) {
+      return false;
+    }
+    if (IsIdent(t_, open - 1)) {
+      static const std::set<std::string> kControl = {"if", "while", "for", "switch", "catch"};
+      return kControl.count(t_[open - 1].text) == 0;
+    }
+    // `](...)` lambda parameter list.
+    return IsPunct(t_, open - 1, "]");
+  }
+
+  // Index of the token terminating the statement starting at `pos`: the
+  // first top-level `;` (nested (), [], {} skipped), bounded by `end`.
+  size_t StmtEnd(size_t pos, size_t end) const {
+    for (size_t i = pos; i < end; ++i) {
+      if (t_[i].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t_[i].text;
+      if (p == "(" || p == "[" || p == "{") {
+        if (match_[i] != kNpos && match_[i] < end) {
+          i = match_[i];
+          continue;
+        }
+        return end;
+      }
+      if (p == ";") {
+        return i;
+      }
+      if (p == "}") {
+        return i;  // malformed; stop at block edge
+      }
+    }
+    return end;
+  }
+
+  // --- state -----------------------------------------------------------------
+
+  static void MarkAllStale(FlowState& st) {
+    for (auto& [name, info] : st.vars) {
+      info.stale = true;
+    }
+  }
+
+  // Re-scopes `inner` (a nested block's exit state) onto `outer`: staleness
+  // of pre-existing vars propagates; block-local bindings die.
+  static void MergeScope(FlowState& outer, const FlowState& inner) {
+    for (auto& [name, info] : outer.vars) {
+      auto it = inner.vars.find(name);
+      if (it != inner.vars.end()) {
+        info = it->second;
+      }
+    }
+    outer.reachable = inner.reachable;
+  }
+
+  // Joins two branch exit states into `out` (entry state of the branches).
+  // A branch that cannot fall through (ended in return/break/...) does not
+  // contribute.
+  static void MergeBranches(FlowState& out, const FlowState& a, const FlowState& b) {
+    for (auto& [name, info] : out.vars) {
+      bool stale = false;
+      bool fresh_somewhere = false;
+      for (const FlowState* s : {&a, &b}) {
+        if (!s->reachable) {
+          continue;
+        }
+        auto it = s->vars.find(name);
+        if (it != s->vars.end()) {
+          stale = stale || it->second.stale;
+          fresh_somewhere = fresh_somewhere || !it->second.stale;
+          (void)fresh_somewhere;
+        }
+      }
+      info.stale = stale;
+    }
+    out.reachable = a.reachable || b.reachable;
+  }
+
+  // --- statement walker ------------------------------------------------------
+
+  void AnalyzeStmtList(size_t begin, size_t end, FlowState& st) {
+    size_t pos = begin;
+    size_t guard = 0;
+    while (pos < end && guard++ < t_.size()) {
+      pos = AnalyzeStmt(pos, end, st);
+    }
+  }
+
+  // Analyzes one statement starting at `pos`; returns the index just past it.
+  size_t AnalyzeStmt(size_t pos, size_t end, FlowState& st) {
+    if (pos >= end) {
+      return end;
+    }
+    if (IsPunct(t_, pos, ";")) {
+      return pos + 1;
+    }
+    if (IsPunct(t_, pos, "{")) {
+      size_t close = match_[pos];
+      if (close == kNpos || close > end) {
+        return end;
+      }
+      FlowState inner = st;
+      AnalyzeStmtList(pos + 1, close, inner);
+      MergeScope(st, inner);
+      return close + 1;
+    }
+    if (t_[pos].kind == TokKind::kIdent) {
+      const std::string& kw = t_[pos].text;
+      if (kw == "if") {
+        return AnalyzeIf(pos, end, st);
+      }
+      if (kw == "while") {
+        return AnalyzeWhile(pos, end, st);
+      }
+      if (kw == "do") {
+        return AnalyzeDo(pos, end, st);
+      }
+      if (kw == "for") {
+        return AnalyzeFor(pos, end, st);
+      }
+      if (kw == "switch") {
+        return AnalyzeSwitch(pos, end, st);
+      }
+      if (kw == "try") {
+        return AnalyzeTry(pos, end, st);
+      }
+      if (kw == "return" || kw == "co_return" || kw == "throw") {
+        size_t semi = StmtEnd(pos + 1, end);
+        ProcessExpr(pos + 1, semi, st, /*is_cond=*/false);
+        st.reachable = false;
+        return semi + 1;
+      }
+      if (kw == "co_yield") {
+        size_t semi = StmtEnd(pos + 1, end);
+        ProcessExpr(pos + 1, semi, st, /*is_cond=*/false);
+        MarkAllStale(st);  // co_yield itself suspends
+        return semi + 1;
+      }
+      if (kw == "break" || kw == "continue" || kw == "goto") {
+        st.reachable = false;
+        return StmtEnd(pos, end) + 1;
+      }
+      if (kw == "case") {
+        // `case expr:` — skip the label.
+        for (size_t i = pos + 1; i < end; ++i) {
+          if (IsPunct(t_, i, ":")) {
+            return i + 1;
+          }
+        }
+        return end;
+      }
+      if (kw == "default" && IsPunct(t_, pos + 1, ":")) {
+        return pos + 2;
+      }
+      if (kw == "else") {
+        return AnalyzeStmt(pos + 1, end, st);  // stray else (shouldn't happen)
+      }
+    }
+    size_t semi = StmtEnd(pos, end);
+    ProcessExpr(pos, semi, st, /*is_cond=*/false);
+    return semi + 1;
+  }
+
+  size_t AnalyzeIf(size_t pos, size_t end, FlowState& st) {
+    size_t lparen = pos + 1;
+    if (IsIdent(t_, lparen, "constexpr")) {
+      ++lparen;
+    }
+    if (!IsPunct(t_, lparen, "(") || match_[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = match_[lparen];
+    ProcessExpr(lparen + 1, cclose, st, /*is_cond=*/true);
+    FlowState then_state = st;
+    size_t after_then = AnalyzeStmt(cclose + 1, end, then_state);
+    if (IsIdent(t_, after_then, "else") && after_then < end) {
+      FlowState else_state = st;
+      size_t after_else = AnalyzeStmt(after_then + 1, end, else_state);
+      MergeBranches(st, then_state, else_state);
+      return after_else;
+    }
+    // No else: fall-through keeps the pre-branch state as the other path.
+    FlowState skip_state = st;
+    MergeBranches(st, then_state, skip_state);
+    return after_then;
+  }
+
+  size_t AnalyzeWhile(size_t pos, size_t end, FlowState& st) {
+    size_t lparen = pos + 1;
+    if (!IsPunct(t_, lparen, "(") || match_[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = match_[lparen];
+    FlowState s = st;
+    size_t after = cclose + 1;
+    // Two passes over cond+body: the second sees bindings of the first as
+    // stale when the body suspends (the back edge).
+    for (int pass = 0; pass < 2; ++pass) {
+      ProcessExpr(lparen + 1, cclose, s, /*is_cond=*/true);
+      FlowState body = s;
+      after = AnalyzeStmt(cclose + 1, end, body);
+      MergeScope(s, body);
+      if (!s.reachable) {
+        break;
+      }
+    }
+    // The loop may run zero times: join with the pre-loop state.
+    FlowState pre = st;
+    MergeBranches(st, s, pre);
+    st.reachable = true;
+    return after;
+  }
+
+  size_t AnalyzeDo(size_t pos, size_t end, FlowState& st) {
+    FlowState s = st;
+    size_t after_body = pos + 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      FlowState body = s;
+      after_body = AnalyzeStmt(pos + 1, end, body);
+      MergeScope(s, body);
+      if (!s.reachable) {
+        s.reachable = true;  // `continue` re-enters the condition
+      }
+      if (IsIdent(t_, after_body, "while") && IsPunct(t_, after_body + 1, "(") &&
+          match_[after_body + 1] != kNpos) {
+        ProcessExpr(after_body + 2, match_[after_body + 1], s, /*is_cond=*/true);
+      }
+    }
+    MergeScope(st, s);
+    if (IsIdent(t_, after_body, "while") && IsPunct(t_, after_body + 1, "(") &&
+        match_[after_body + 1] != kNpos) {
+      return StmtEnd(match_[after_body + 1], end) + 1;
+    }
+    return after_body;
+  }
+
+  size_t AnalyzeFor(size_t pos, size_t end, FlowState& st) {
+    size_t lparen = pos + 1;
+    if (!IsPunct(t_, lparen, "(") || match_[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = match_[lparen];
+    // Split the header: range-for (`decl : expr`) or classic
+    // (`init; cond; inc`), at paren depth 1 only.
+    size_t colon = kNpos, semi1 = kNpos, semi2 = kNpos;
+    int depth = 0;
+    for (size_t j = lparen; j < cclose; ++j) {
+      if (t_[j].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t_[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      else if (p == ")" || p == "]" || p == "}") --depth;
+      else if (depth == 1 && p == ":" && semi1 == kNpos) { colon = j; break; }
+      else if (depth == 1 && p == ";") {
+        (semi1 == kNpos ? semi1 : semi2) = j;
+      }
+    }
+    FlowState s = st;
+    if (colon != kNpos) {
+      // Range-for: the loop variable is not tracked (references into a local
+      // snapshot are the dominant idiom); the range expression is.
+      ProcessExpr(colon + 1, cclose, s, /*is_cond=*/false);
+      size_t after = cclose + 1;
+      for (int pass = 0; pass < 2; ++pass) {
+        FlowState body = s;
+        after = AnalyzeStmt(cclose + 1, end, body);
+        MergeScope(s, body);
+        if (!s.reachable) {
+          break;
+        }
+      }
+      FlowState pre = st;
+      MergeBranches(st, s, pre);
+      st.reachable = true;
+      return after;
+    }
+    if (semi1 != kNpos) {
+      ProcessExpr(lparen + 1, semi1, s, /*is_cond=*/false);  // init
+    }
+    size_t after = cclose + 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      if (semi1 != kNpos) {
+        ProcessExpr(semi1 + 1, semi2 == kNpos ? cclose : semi2, s, /*is_cond=*/true);
+      }
+      FlowState body = s;
+      after = AnalyzeStmt(cclose + 1, end, body);
+      MergeScope(s, body);
+      if (!s.reachable) {
+        break;
+      }
+      if (semi2 != kNpos) {
+        ProcessExpr(semi2 + 1, cclose, s, /*is_cond=*/false);  // increment
+      }
+    }
+    FlowState pre = st;
+    MergeBranches(st, s, pre);
+    st.reachable = true;
+    return after;
+  }
+
+  size_t AnalyzeSwitch(size_t pos, size_t end, FlowState& st) {
+    size_t lparen = pos + 1;
+    if (!IsPunct(t_, lparen, "(") || match_[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = match_[lparen];
+    ProcessExpr(lparen + 1, cclose, st, /*is_cond=*/true);
+    if (IsPunct(t_, cclose + 1, "{") && match_[cclose + 1] != kNpos) {
+      // Linear walk; `break` prunes the remainder of its case, which makes
+      // the analysis conservative-quiet across cases. Restore reachability
+      // afterwards: a switch as a whole falls through.
+      FlowState inner = st;
+      AnalyzeStmtList(cclose + 2, match_[cclose + 1], inner);
+      inner.reachable = true;
+      MergeScope(st, inner);
+      return match_[cclose + 1] + 1;
+    }
+    return AnalyzeStmt(cclose + 1, end, st);
+  }
+
+  size_t AnalyzeTry(size_t pos, size_t end, FlowState& st) {
+    if (!IsPunct(t_, pos + 1, "{") || match_[pos + 1] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    FlowState entry = st;
+    FlowState try_state = st;
+    AnalyzeStmtList(pos + 2, match_[pos + 1], try_state);
+    MergeScope(st, try_state);
+    size_t next = match_[pos + 1] + 1;
+    while (IsIdent(t_, next, "catch") && IsPunct(t_, next + 1, "(") &&
+           match_[next + 1] != kNpos && IsPunct(t_, match_[next + 1] + 1, "{") &&
+           match_[match_[next + 1] + 1] != kNpos) {
+      size_t body_open = match_[next + 1] + 1;
+      FlowState catch_state = entry;
+      MarkAllStale(catch_state);  // the try body may have suspended anywhere
+      AnalyzeStmtList(body_open + 1, match_[body_open], catch_state);
+      FlowState main_path = st;
+      MergeBranches(st, main_path, catch_state);
+      next = match_[body_open] + 1;
+    }
+    return next;
+  }
+
+  // --- expression / binding analysis ----------------------------------------
+
+  void ProcessExpr(size_t begin, size_t end, FlowState& st, bool is_cond) {
+    if (!st.reachable || begin >= end) {
+      return;
+    }
+    bool suspends = ContainsSuspension(begin, end);
+    // Uses are evaluated before the statement's own suspension resolves
+    // (`co_await Write(entry->data)` reads entry pre-suspension).
+    ScanUses(begin, end, st, is_cond);
+    if (suspends) {
+      MarkAllStale(st);
+    }
+    DetectBinding(begin, end, st);
+  }
+
+  void ScanUses(size_t begin, size_t end, FlowState& st, bool is_cond) {
+    for (size_t i = begin; i < end; ++i) {
+      if (IsLambdaStart(i)) {
+        size_t past = SkipLambda(i);
+        if (past != kNpos && past <= end) {
+          i = past - 1;
+          continue;
+        }
+      }
+      if (t_[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      auto it = st.vars.find(t_[i].text);
+      if (it == st.vars.end() || !it->second.stale) {
+        continue;
+      }
+      // Member of some other object (`x.entry`), or qualified name.
+      if (i > 0 && (IsPunct(t_, i - 1, ".") || IsPunct(t_, i - 1, "->") ||
+                    IsPunct(t_, i - 1, "::"))) {
+        continue;
+      }
+      const VarInfo& info = it->second;
+      bool next_eq = IsPunct(t_, i + 1, "==") || IsPunct(t_, i + 1, "!=") ||
+                     IsPunct(t_, i + 1, "=");
+      bool prev_eq = i > 0 && (IsPunct(t_, i - 1, "==") || IsPunct(t_, i - 1, "!="));
+      if (next_eq || prev_eq) {
+        continue;  // comparison or re-assignment, not a dereference
+      }
+      bool prev_unary_star =
+          i > 0 && IsPunct(t_, i - 1, "*") &&
+          (i == 1 || !(t_[i - 2].kind == TokKind::kIdent || t_[i - 2].kind == TokKind::kNumber ||
+                       IsPunct(t_, i - 2, ")") || IsPunct(t_, i - 2, "]")));
+      bool used = false;
+      switch (info.kind) {
+        case VarInfo::kPtr:
+          used = IsPunct(t_, i + 1, "->") || IsPunct(t_, i + 1, "[") || prev_unary_star;
+          break;
+        case VarInfo::kIter:
+          used = IsPunct(t_, i + 1, "->") || prev_unary_star || IsPunct(t_, i + 1, "++") ||
+                 IsPunct(t_, i + 1, "--") ||
+                 (i > 0 && (IsPunct(t_, i - 1, "++") || IsPunct(t_, i - 1, "--")));
+          break;
+        case VarInfo::kRef:
+          used = true;  // any mention touches the (possibly dead) element
+          break;
+        case VarInfo::kSize:
+          used = is_cond;
+          break;
+      }
+      if (!used) {
+        continue;
+      }
+      int line = t_[i].line;
+      if (!reported_.insert({it->first, line}).second) {
+        continue;
+      }
+      if (info.kind == VarInfo::kSize) {
+        emit_(line, info.bind_line, "await-cached-size",
+              "`" + it->first + "` caches " + info.source + " taken at line " +
+                  std::to_string(info.bind_line) +
+                  ", but a co_await intervened; the container may have changed while "
+                  "suspended — re-query it after the suspension");
+      } else {
+        emit_(line, info.bind_line, "await-stale-ref",
+              "`" + it->first + "` holds " + std::string(KindNoun(info.kind)) + " from " +
+                  info.source + " bound at line " + std::to_string(info.bind_line) +
+                  ", but a co_await intervened; another coroutine may have invalidated "
+                  "it — re-acquire after the suspension or copy the value before it");
+      }
+    }
+  }
+
+  // Locates `lhs = rhs` (or [CO_]ASSIGN_OR_RETURN(lhs, rhs)) in the
+  // statement and binds/kills the target variable according to the RHS.
+  void DetectBinding(size_t begin, size_t end, FlowState& st) {
+    size_t lhs_begin = begin, lhs_end = kNpos, rhs_begin = kNpos, rhs_end = end;
+    if (IsIdent(t_, begin) &&
+        (t_[begin].text == "ASSIGN_OR_RETURN" || t_[begin].text == "CO_ASSIGN_OR_RETURN") &&
+        IsPunct(t_, begin + 1, "(") && match_[begin + 1] != kNpos) {
+      size_t close = match_[begin + 1];
+      int depth = 0;
+      for (size_t j = begin + 2; j < close; ++j) {
+        if (t_[j].kind != TokKind::kPunct) {
+          continue;
+        }
+        const std::string& p = t_[j].text;
+        if (p == "(" || p == "[" || p == "{" || p == "<") ++depth;
+        else if (p == ")" || p == "]" || p == "}" || p == ">") --depth;
+        else if (p == "," && depth == 0) {
+          lhs_begin = begin + 2;
+          lhs_end = j;
+          rhs_begin = j + 1;
+          rhs_end = close;
+          break;
+        }
+      }
+    } else {
+      int depth = 0;
+      for (size_t j = begin; j < end; ++j) {
+        if (t_[j].kind != TokKind::kPunct) {
+          continue;
+        }
+        const std::string& p = t_[j].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        else if (p == ")" || p == "]" || p == "}") --depth;
+        else if (p == "=" && depth == 0) {
+          lhs_end = j;
+          rhs_begin = j + 1;
+          break;
+        }
+      }
+    }
+    if (lhs_end == kNpos || rhs_begin == kNpos) {
+      return;
+    }
+
+    // LHS shape: a declaration (`Type* name`, `auto& name`) or a plain
+    // re-assignment (`name`). Member stores (`x->f = ...`), subscript stores
+    // and structured bindings are not tracked.
+    bool has_star = false, has_amp = false, has_auto = false;
+    std::string name;
+    for (size_t j = lhs_begin; j < lhs_end; ++j) {
+      if (t_[j].kind == TokKind::kPunct) {
+        const std::string& p = t_[j].text;
+        if (p == "*") has_star = true;
+        else if (p == "&" || p == "&&") has_amp = true;
+        else if (p == "." || p == "->" || p == "[") return;  // member/subscript store
+      } else if (t_[j].kind == TokKind::kIdent) {
+        if (t_[j].text == "auto") has_auto = true;
+        name = t_[j].text;
+      }
+    }
+    if (name.empty()) {
+      return;
+    }
+    bool single_token = (lhs_end - lhs_begin) == 1;
+    bool tracked = st.vars.count(name) > 0;
+    int line = t_[lhs_end - 1 < lhs_begin ? lhs_begin : lhs_end - 1].line;
+
+    // RHS classification.
+    if (ContainsSuspension(rhs_begin, rhs_end)) {
+      st.vars.erase(name);  // produced fresh at the suspension point
+      return;
+    }
+    // A call to a known unstable source anywhere in the initializer.
+    for (size_t j = rhs_begin; j < rhs_end; ++j) {
+      if (IsIdent(t_, j) && IsPunct(t_, j + 1, "(") && unstable_fns_.count(t_[j].text) > 0) {
+        if (has_star || has_auto || has_amp || single_token) {
+          st.vars[name] = {has_amp && !has_star ? VarInfo::kRef : VarInfo::kPtr, line,
+                           "`" + t_[j].text + "(...)`", false};
+        } else {
+          st.vars.erase(name);  // value copy of the pointee
+        }
+        return;
+      }
+    }
+    // Iterator-returning container method: `c.find(k)`, `m.begin()`, ...
+    for (size_t j = rhs_begin; j + 2 < rhs_end; ++j) {
+      if ((IsPunct(t_, j, ".") || IsPunct(t_, j, "->")) && IsIdent(t_, j + 1) &&
+          IsPunct(t_, j + 2, "(") && IsIteratorFn(t_[j + 1].text)) {
+        if (has_auto || has_star || has_amp || single_token) {
+          st.vars[name] = {VarInfo::kIter, line, "`." + t_[j + 1].text + "(...)`", false};
+          return;
+        }
+      }
+    }
+    // Address of a container element (`&entries_[k]`, `&list.back()`), or a
+    // reference binding to one (`auto& e = node->partial[b];`).
+    bool rhs_addr_of = IsPunct(t_, rhs_begin, "&");
+    bool rhs_element = false;
+    std::string element_src = "a container element";
+    for (size_t j = rhs_begin; j < rhs_end; ++j) {
+      if (IsPunct(t_, j, "[") && j > rhs_begin &&
+          (t_[j - 1].kind == TokKind::kIdent || IsPunct(t_, j - 1, ")") ||
+           IsPunct(t_, j - 1, "]"))) {
+        rhs_element = true;
+        element_src = "`operator[]`";
+      }
+      if ((IsPunct(t_, j, ".") || IsPunct(t_, j, "->")) && IsIdent(t_, j + 1) &&
+          IsPunct(t_, j + 2, "(") && IsElementFn(t_[j + 1].text)) {
+        rhs_element = true;
+        element_src = "`." + t_[j + 1].text + "(...)`";
+      }
+    }
+    if (rhs_element && (rhs_addr_of || has_amp) && (has_star || has_amp || single_token)) {
+      st.vars[name] = {rhs_addr_of && !has_amp ? VarInfo::kPtr : VarInfo::kRef, line,
+                       element_src, false};
+      return;
+    }
+    // Chain rooted in a tracked variable: an alias (`e2 = e;`) or a
+    // reference into the pointee (`auto& entry = it->second;`) inherits the
+    // origin; a *value copy* through the pointer is stable.
+    if (IsIdent(t_, rhs_begin) || (rhs_addr_of && IsIdent(t_, rhs_begin + 1))) {
+      size_t root = rhs_begin + (rhs_addr_of ? 1 : 0);
+      auto it = st.vars.find(t_[root].text);
+      if (it != st.vars.end()) {
+        bool whole_chain = true;  // rhs is just root(.member / ->member)*
+        for (size_t j = root + 1; j < rhs_end; ++j) {
+          if (t_[j].kind == TokKind::kIdent) {
+            continue;
+          }
+          if (IsPunct(t_, j, ".") || IsPunct(t_, j, "->")) {
+            continue;
+          }
+          whole_chain = false;
+          break;
+        }
+        bool is_alias = whole_chain && root + 1 == rhs_end && !rhs_addr_of;
+        if (is_alias && (has_star || has_auto || single_token)) {
+          VarInfo inherited = it->second;
+          inherited.bind_line = line;
+          st.vars[name] = inherited;
+          return;
+        }
+        if (whole_chain && (has_amp || rhs_addr_of)) {
+          st.vars[name] = {rhs_addr_of && !has_amp ? VarInfo::kPtr : VarInfo::kRef, line,
+                           "`" + it->second.source + "` (via `" + it->first + "`)",
+                           it->second.stale};
+          return;
+        }
+      }
+    }
+    // Size/emptiness snapshot of a *member* container.
+    for (size_t j = rhs_begin; j + 2 < rhs_end; ++j) {
+      if ((IsPunct(t_, j, ".") || IsPunct(t_, j, "->")) && IsIdent(t_, j + 1) &&
+          IsPunct(t_, j + 2, "(") && IsSizeFn(t_[j + 1].text)) {
+        // Walk the receiver chain back to its root identifier.
+        bool member_chain = false;
+        size_t k = j;
+        while (k > rhs_begin) {
+          if (IsPunct(t_, k, "->")) {
+            member_chain = true;
+          }
+          if (t_[k - 1].kind == TokKind::kIdent &&
+              (k - 1 == rhs_begin || !(IsPunct(t_, k - 2, ".") || IsPunct(t_, k - 2, "->") ||
+                                        IsPunct(t_, k - 2, "::")))) {
+            const std::string& rootname = t_[k - 1].text;
+            member_chain = member_chain || (!rootname.empty() && rootname.back() == '_');
+            break;
+          }
+          --k;
+        }
+        if (member_chain) {
+          st.vars[name] = {VarInfo::kSize, line,
+                           "`." + t_[j + 1].text + "()` of a shared container", false};
+          return;
+        }
+      }
+    }
+    // Anything else produces a stable value; a rebind clears prior tracking.
+    if (tracked) {
+      st.vars.erase(name);
+    }
+  }
+
+  const std::vector<Token>& t_;
+  const std::set<std::string>& unstable_fns_;
+  EmitFn emit_;
+  std::vector<size_t> match_;    // opener index -> matching closer index
+  std::vector<size_t> open_of_;  // closer index -> matching opener index
+  std::set<std::pair<std::string, int>> reported_;  // (var, line) dedupe
+};
+
+}  // namespace
+
+void Linter::CheckFlow(const FileState& fs, std::vector<Diagnostic>& out) {
+  FlowPass pass(fs.lex.tokens, unstable_fns_,
+                [&](int line, int bind_line, const std::string& rule, std::string message) {
+                  if (bind_line != line && Suppressed(fs, bind_line, rule)) {
+                    return;  // waived at the binding
+                  }
+                  Emit(fs, line, rule, std::move(message), out);
+                });
+  pass.Run();
+}
+
+}  // namespace lint

@@ -55,8 +55,19 @@ void RecordSuppressions(const std::string& comment, int line, bool standalone,
     if (word.size() > 3 && word.rfind("-ok") == word.size() - 3) {
       std::string rule = word.substr(0, word.size() - 3);
       out.suppressions[line].insert(rule);
+      SuppressionNote note;
+      note.rule = rule;
+      note.comment_line = line;
+      note.covered.push_back(line);
       if (standalone) {
         out.suppressions[line + 1].insert(rule);
+        note.covered.push_back(line + 1);
+      }
+      out.notes.push_back(std::move(note));
+    } else if (word == "unstable-source") {
+      out.unstable_source_lines.insert(line);
+      if (standalone) {
+        out.unstable_source_lines.insert(line + 1);
       }
     } else if (!word.empty()) {
       break;  // first non-rule word ends the suppression list

@@ -33,10 +33,24 @@ struct Token {
   int line;
 };
 
+// One `<rule>-ok` word from a `// lint:` comment, kept positionally so the
+// suppression-audit rule can verify it still suppresses a live diagnostic.
+struct SuppressionNote {
+  std::string rule;
+  int comment_line = 0;       // line the comment itself is on
+  std::vector<int> covered;   // lines the suppression applies to
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   // line -> rule ids suppressed on that line via `// lint: <rule>-ok`.
   std::map<int, std::set<std::string>> suppressions;
+  // Every suppression word, in file order (audited by suppression-audit).
+  std::vector<SuppressionNote> notes;
+  // Lines carrying a `// lint: unstable-source` annotation: the function
+  // declared on (or directly below) such a line returns a pointer/reference
+  // into a container even though the return type does not say so.
+  std::set<int> unstable_source_lines;
 };
 
 // Tokenizes `source`. Never fails: unrecognized bytes are skipped.

@@ -208,6 +208,12 @@ void Linter::CollectDecls(FileState& fs) {
       size_t k = ParseScopedName(t, after, name);
       if (k != kNpos && IsPunct(t, k, "(")) {
         fs.decls.status_fns.insert(name);
+        // `Result<T*>`: the payload is a raw pointer into some container —
+        // an unstable source for the flow rules (`after - 1` is the closing
+        // `>`, so `after - 2` is the last payload token).
+        if (after >= 2 && IsPunct(t, after - 2, "*")) {
+          fs.decls.unstable_fns.insert(name);
+        }
       }
     } else if (id == "unordered_map" || id == "unordered_set") {
       if (!IsPunct(t, i + 1, "<")) {
@@ -235,23 +241,81 @@ void Linter::CollectDecls(FileState& fs) {
       }
     }
   }
+
+  // Unstable-source inference for the flow rules: `Type* Name(` declarations
+  // (raw-pointer returns) and functions annotated `// lint: unstable-source`
+  // (reference-returners the type system cannot reveal).
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (IsIdent(t, i) && IsPunct(t, i + 1, "(") &&
+        fs.lex.unstable_source_lines.count(t[i].line) > 0) {
+      fs.decls.unstable_fns.insert(t[i].text);
+    }
+    if (!IsPunct(t, i, "*")) {
+      continue;
+    }
+    size_t star_end = i;
+    while (IsPunct(t, star_end + 1, "*")) {
+      ++star_end;
+    }
+    std::string name;
+    size_t k = ParseScopedName(t, star_end + 1, name);
+    if (k == kNpos || !IsPunct(t, k, "(")) {
+      continue;
+    }
+    // Walk back over the return type's scoped-name chain to its head...
+    if (i == 0 || !IsIdent(t, i - 1)) {
+      continue;
+    }
+    size_t head = i - 1;
+    while (head >= 2 && IsPunct(t, head - 1, "::") && IsIdent(t, head - 2)) {
+      head -= 2;
+    }
+    if (IsStatementKeyword(t[head].text)) {
+      continue;
+    }
+    // ...which must sit at a declaration boundary, so `x = a * b(c)` and
+    // `return a * b(c)` (multiplications) are not mistaken for declarations.
+    bool at_decl_boundary = head == 0;
+    if (!at_decl_boundary) {
+      const Token& g = t[head - 1];
+      if (g.kind == TokKind::kPunct) {
+        at_decl_boundary = g.text == ";" || g.text == "{" || g.text == "}" || g.text == ":";
+      } else if (g.kind == TokKind::kIdent) {
+        static const std::set<std::string> kDeclPrefix = {
+            "const", "static", "inline", "constexpr", "virtual", "friend",
+            "explicit", "typename", "mutable"};
+        at_decl_boundary = kDeclPrefix.count(g.text) > 0;
+      }
+    }
+    if (at_decl_boundary) {
+      fs.decls.unstable_fns.insert(name);
+    }
+  }
 }
 
 std::vector<Diagnostic> Linter::Run() {
   task_fns_.clear();
   status_fns_.clear();
   other_fns_.clear();
+  unstable_fns_.clear();
+  used_.clear();
   for (const FileState& fs : files_) {
     for (const auto& [name, payload] : fs.decls.task_fns) {
       task_fns_[name] |= payload;
     }
     status_fns_.insert(fs.decls.status_fns.begin(), fs.decls.status_fns.end());
     other_fns_.insert(fs.decls.other_fns.begin(), fs.decls.other_fns.end());
+    unstable_fns_.insert(fs.decls.unstable_fns.begin(), fs.decls.unstable_fns.end());
   }
 
   std::vector<Diagnostic> out;
   for (const FileState& fs : files_) {
     LintFile(fs, out);
+  }
+  // The audit needs every rule's suppression hits, so it runs after all
+  // files have been linted.
+  for (const FileState& fs : files_) {
+    CheckSuppressions(fs, out);
   }
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -261,20 +325,60 @@ std::vector<Diagnostic> Linter::Run() {
   return out;
 }
 
-bool Linter::Suppressed(const FileState& fs, int line, const std::string& rule) const {
+bool Linter::Suppressed(const FileState& fs, int line, const std::string& rule) {
   auto it = fs.lex.suppressions.find(line);
-  return it != fs.lex.suppressions.end() && it->second.count(rule) > 0;
+  if (it == fs.lex.suppressions.end() || it->second.count(rule) == 0) {
+    return false;
+  }
+  used_.insert({fs.path, line, rule});
+  return true;
 }
 
 void Linter::Emit(const FileState& fs, int line, const std::string& rule, std::string message,
-                  std::vector<Diagnostic>& out) const {
+                  std::vector<Diagnostic>& out) {
   if (Suppressed(fs, line, rule)) {
     return;
   }
   out.push_back(Diagnostic{fs.path, line, rule, std::move(message)});
 }
 
-void Linter::LintFile(const FileState& fs, std::vector<Diagnostic>& out) const {
+// --- rule: suppression-audit -------------------------------------------------
+
+void Linter::CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kKnownRules = {
+      "coro-ref",       "coro-lambda",     "task-dropped",      "nondet",
+      "ordered",        "unused-status",   "await-stale-ref",   "await-cached-size",
+      "suppression-audit"};
+  for (const SuppressionNote& note : fs.lex.notes) {
+    // Auditing audit suppressions would make `suppression-audit-ok`
+    // self-justifying; leave them alone.
+    if (note.rule == "suppression-audit") {
+      continue;
+    }
+    if (kKnownRules.count(note.rule) == 0) {
+      Emit(fs, note.comment_line, "suppression-audit",
+           "`// lint: " + note.rule + "-ok` names an unknown rule id; fix the spelling or "
+           "remove the comment",
+           out);
+      continue;
+    }
+    bool hit = false;
+    for (int line : note.covered) {
+      if (used_.count({fs.path, line, note.rule}) > 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      Emit(fs, note.comment_line, "suppression-audit",
+           "`// lint: " + note.rule + "-ok` no longer suppresses any diagnostic; the code was "
+           "fixed or the suppression is misplaced — remove it",
+           out);
+    }
+  }
+}
+
+void Linter::LintFile(const FileState& fs, std::vector<Diagnostic>& out) {
   CheckCoroParams(fs, out);
   CheckCoroLambdas(fs, out);
   CheckNondet(fs, out);
@@ -299,11 +403,12 @@ void Linter::LintFile(const FileState& fs, std::vector<Diagnostic>& out) const {
     CheckOrderedIteration(fs, unordered, out);
   }
   CheckStatements(fs, out);
+  CheckFlow(fs, out);
 }
 
 // --- rule: coro-ref ----------------------------------------------------------
 
-void Linter::CheckCoroParams(const FileState& fs, std::vector<Diagnostic>& out) const {
+void Linter::CheckCoroParams(const FileState& fs, std::vector<Diagnostic>& out) {
   const std::vector<Token>& t = fs.lex.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (!IsIdent(t, i, "Task") || !IsPunct(t, i + 1, "<")) {
@@ -386,7 +491,7 @@ void Linter::CheckCoroParams(const FileState& fs, std::vector<Diagnostic>& out) 
 
 // --- rule: coro-lambda -------------------------------------------------------
 
-void Linter::CheckCoroLambdas(const FileState& fs, std::vector<Diagnostic>& out) const {
+void Linter::CheckCoroLambdas(const FileState& fs, std::vector<Diagnostic>& out) {
   const std::vector<Token>& t = fs.lex.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (!IsPunct(t, i, "[")) {
@@ -458,7 +563,7 @@ void Linter::CheckCoroLambdas(const FileState& fs, std::vector<Diagnostic>& out)
 
 // --- rule: nondet ------------------------------------------------------------
 
-void Linter::CheckNondet(const FileState& fs, std::vector<Diagnostic>& out) const {
+void Linter::CheckNondet(const FileState& fs, std::vector<Diagnostic>& out) {
   const std::vector<Token>& t = fs.lex.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdent) {
@@ -500,7 +605,7 @@ void Linter::CheckNondet(const FileState& fs, std::vector<Diagnostic>& out) cons
 // --- rule: ordered -----------------------------------------------------------
 
 void Linter::CheckOrderedIteration(const FileState& fs, const std::set<std::string>& unordered,
-                                   std::vector<Diagnostic>& out) const {
+                                   std::vector<Diagnostic>& out) {
   const std::vector<Token>& t = fs.lex.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (!IsIdent(t, i, "for") || !IsPunct(t, i + 1, "(")) {
@@ -559,7 +664,7 @@ void Linter::CheckOrderedIteration(const FileState& fs, const std::set<std::stri
 
 // --- rules: task-dropped / unused-status ------------------------------------
 
-void Linter::CheckStatements(const FileState& fs, std::vector<Diagnostic>& out) const {
+void Linter::CheckStatements(const FileState& fs, std::vector<Diagnostic>& out) {
   const std::vector<Token>& t = fs.lex.tokens;
   bool at_stmt_start = true;
   for (size_t i = 0; i < t.size(); ++i) {

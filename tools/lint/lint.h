@@ -41,12 +41,43 @@
 //  unused-status A base::Status / base::Result return value (including the
 //                payload of `co_await SomeTask(...)`) dropped without an
 //                explicit (void) cast.
+//
+// Flow-sensitive rules (see flow.cc). These walk each coroutine body as a
+// statement tree with `co_await`/`co_yield` marked as suspension points and
+// track which locals hold values that another interleaved coroutine can
+// invalidate while this one is suspended:
+//
+//  await-stale-ref    A local bound to an *unstable source* — a function
+//                     returning a raw pointer/reference into a container
+//                     (`Entry* Find(...)`, `Result<Inode*> Resolve(...)`,
+//                     anything annotated `// lint: unstable-source`), a
+//                     container lookup (`.find()`, `.begin()`,
+//                     `operator[]`, `.at()`), or `&container[key]` — is
+//                     dereferenced after a suspension point without being
+//                     re-acquired. Fix: re-lookup after the await, or copy
+//                     the needed values before suspending.
+//  await-cached-size  A container size/emptiness snapshot (`.size()`,
+//                     `.empty()`, `.count()`) taken before a suspension
+//                     point is branched on after it; the container may have
+//                     changed while the coroutine slept.
+//  suppression-audit  A `// lint: <rule>-ok` comment that no longer
+//                     suppresses any diagnostic (the code was fixed, the
+//                     rule changed, or the id is misspelled) is itself an
+//                     error, keeping the suppression inventory honest.
+//
+// Unstable sources are inferred from declarations repo-wide: any function
+// declared to return `T*` or `base::Result<T*>`, plus any function whose
+// declaration line carries `// lint: unstable-source` (for functions that
+// return references into containers, which the return type cannot reveal).
+// Bindings whose initializer contains `co_await` are treated as stable: the
+// value was produced fresh at the suspension point.
 #ifndef TOOLS_LINT_LINT_H_
 #define TOOLS_LINT_LINT_H_
 
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "tools/lint/lexer.h"
@@ -74,6 +105,9 @@ struct FileDecls {
   // (e.g. Simulator::Run() vs. a Task-returning Run elsewhere).
   std::set<std::string> other_fns;
   std::set<std::string> unordered_vars;
+  // Functions returning raw pointers (`T*`), pointer payloads
+  // (`Result<T*>`), or carrying a `// lint: unstable-source` annotation.
+  std::set<std::string> unstable_fns;
 };
 
 class Linter {
@@ -98,25 +132,34 @@ class Linter {
   };
 
   void CollectDecls(FileState& fs);
-  void LintFile(const FileState& fs, std::vector<Diagnostic>& out) const;
+  void LintFile(const FileState& fs, std::vector<Diagnostic>& out);
 
   // Rules. `unordered` is the effective unordered-variable set for the file.
-  void CheckCoroParams(const FileState& fs, std::vector<Diagnostic>& out) const;
-  void CheckCoroLambdas(const FileState& fs, std::vector<Diagnostic>& out) const;
-  void CheckNondet(const FileState& fs, std::vector<Diagnostic>& out) const;
+  void CheckCoroParams(const FileState& fs, std::vector<Diagnostic>& out);
+  void CheckCoroLambdas(const FileState& fs, std::vector<Diagnostic>& out);
+  void CheckNondet(const FileState& fs, std::vector<Diagnostic>& out);
   void CheckOrderedIteration(const FileState& fs, const std::set<std::string>& unordered,
-                             std::vector<Diagnostic>& out) const;
-  void CheckStatements(const FileState& fs, std::vector<Diagnostic>& out) const;
+                             std::vector<Diagnostic>& out);
+  void CheckStatements(const FileState& fs, std::vector<Diagnostic>& out);
+  // Flow-sensitive pass: await-stale-ref and await-cached-size (flow.cc).
+  void CheckFlow(const FileState& fs, std::vector<Diagnostic>& out);
+  // Post-pass over every file's suppression notes (needs the used_ set
+  // filled in by all other rules, so it runs last).
+  void CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out);
 
-  bool Suppressed(const FileState& fs, int line, const std::string& rule) const;
+  bool Suppressed(const FileState& fs, int line, const std::string& rule);
   void Emit(const FileState& fs, int line, const std::string& rule, std::string message,
-            std::vector<Diagnostic>& out) const;
+            std::vector<Diagnostic>& out);
 
   std::vector<FileState> files_;
   // Global function tables (populated after all AddFile calls, in Run()).
   std::map<std::string, int> task_fns_;
   std::set<std::string> status_fns_;
   std::set<std::string> other_fns_;
+  std::set<std::string> unstable_fns_;
+  // (file, line, rule) triples where a suppression absorbed a diagnostic;
+  // suppression-audit flags notes that never land here.
+  std::set<std::tuple<std::string, int, std::string>> used_;
 };
 
 }  // namespace lint

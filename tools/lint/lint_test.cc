@@ -111,6 +111,66 @@ TEST(SnfslintTest, UnusedStatusQuiet) {
   EXPECT_EQ(CountRule(rules, "unused-status"), 0) << ::testing::PrintToString(rules);
 }
 
+TEST(SnfslintTest, AwaitStaleRefFires) {
+  // Pointer from a `T*`-returning function, iterator from `.find()`,
+  // reference from an `// lint: unstable-source` function, and a loop
+  // back-edge use.
+  std::vector<std::string> rules = RulesFiredOn("await_stale_ref_bad.cc", "await_stale_ref_bad.cc");
+  EXPECT_EQ(CountRule(rules, "await-stale-ref"), 4) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, AwaitStaleRefQuiet) {
+  // Re-acquisition, value copies, await-produced values, pruned suspending
+  // branches, and a binding-line suppression are all clean — and the
+  // suppression counts as used, so suppression-audit stays quiet too.
+  std::vector<std::string> rules =
+      RulesFiredOn("await_stale_ref_good.cc", "await_stale_ref_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, AwaitCachedSizeFires) {
+  std::vector<std::string> rules =
+      RulesFiredOn("await_cached_size_bad.cc", "await_cached_size_bad.cc");
+  EXPECT_EQ(CountRule(rules, "await-cached-size"), 2) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, AwaitCachedSizeQuiet) {
+  std::vector<std::string> rules =
+      RulesFiredOn("await_cached_size_good.cc", "await_cached_size_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, SuppressionAuditFires) {
+  // One suppression that absorbs nothing and one naming an unknown rule.
+  std::vector<std::string> rules =
+      RulesFiredOn("suppression_audit_bad.cc", "suppression_audit_bad.cc");
+  EXPECT_EQ(CountRule(rules, "suppression-audit"), 2) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, SuppressionAuditQuiet) {
+  std::vector<std::string> rules =
+      RulesFiredOn("suppression_audit_good.cc", "suppression_audit_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, UnstableSourceInferredAcrossFiles) {
+  // A `T*`-returning declaration in a header taints call sites in another
+  // file, exactly like the Task-function tables.
+  Linter linter;
+  linter.AddFile("decl.h", "struct E { int v; };\nE* Find(int key);\nsim::Task<void> Nap();\n");
+  linter.AddFile("use.cc",
+                 "sim::Task<int> F() {\n"
+                 "  E* e = Find(1);\n"
+                 "  co_await Nap();\n"
+                 "  co_return e->v;\n"
+                 "}\n");
+  std::vector<Diagnostic> diags = linter.Run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "await-stale-ref");
+  EXPECT_EQ(diags[0].file, "use.cc");
+  EXPECT_EQ(diags[0].line, 4);
+}
+
 TEST(SnfslintTest, TaskFunctionsMatchedAcrossFiles) {
   // A Task-returning function declared in one file is tracked at call sites
   // in another.

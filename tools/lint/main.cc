@@ -1,16 +1,20 @@
 // snfslint: project-specific static analysis for the Spritely NFS simulator.
 //
-// Usage: snfslint [--root DIR] [path...]
+// Usage: snfslint [--root DIR] [--format=gcc|json] [path...]
 //
 // Paths (files or directories, searched recursively for .h/.cc/.cpp/.hpp)
 // are taken relative to --root (default: current directory); with no paths,
-// `src` is linted. Prints `file:line: rule-id: message` diagnostics and
-// exits 1 when any are found. See tools/lint/lint.h for the rule list and
-// the `// lint: <rule>-ok` suppression syntax.
+// `src` is linted. The default gcc format prints `file:line: rule-id:
+// message` lines (clickable in editors and CI logs); --format=json prints a
+// machine-readable array of {file, line, rule, message} objects. Either way
+// a per-rule count summary goes to stderr and the exit status is 1 when any
+// diagnostic is found. See tools/lint/lint.h for the rule list and the
+// `// lint: <rule>-ok` suppression syntax.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,17 +52,58 @@ bool CollectFiles(const fs::path& path, std::vector<fs::path>& files) {
   return false;
 }
 
+// Minimal JSON string escaping: messages contain backticks and quotes but
+// never non-ASCII, so escaping quotes, backslashes, and control bytes is
+// enough.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  std::string format = "gcc";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "gcc" && format != "json") {
+        std::fprintf(stderr, "snfslint: unknown format '%s' (expected gcc or json)\n",
+                     format.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: snfslint [--root DIR] [path...]\n");
+      std::printf("usage: snfslint [--root DIR] [--format=gcc|json] [path...]\n");
       return 0;
     } else {
       args.push_back(arg);
@@ -96,11 +141,30 @@ int main(int argc, char** argv) {
   }
 
   std::vector<lint::Diagnostic> diags = linter.Run();
-  for (const lint::Diagnostic& d : diags) {
-    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.message.c_str());
+  if (format == "json") {
+    std::printf("[");
+    for (size_t i = 0; i < diags.size(); ++i) {
+      const lint::Diagnostic& d = diags[i];
+      std::printf("%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \"%s\"}",
+                  i == 0 ? "" : ",", JsonEscape(d.file).c_str(), d.line,
+                  JsonEscape(d.rule).c_str(), JsonEscape(d.message).c_str());
+    }
+    std::printf("%s]\n", diags.empty() ? "" : "\n");
+  } else {
+    for (const lint::Diagnostic& d : diags) {
+      std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.message.c_str());
+    }
   }
   if (!diags.empty()) {
-    std::fprintf(stderr, "snfslint: %zu diagnostic(s)\n", diags.size());
+    std::map<std::string, int> by_rule;
+    for (const lint::Diagnostic& d : diags) {
+      ++by_rule[d.rule];
+    }
+    std::fprintf(stderr, "snfslint: %zu diagnostic(s):", diags.size());
+    for (const auto& [rule, count] : by_rule) {
+      std::fprintf(stderr, " %s=%d", rule.c_str(), count);
+    }
+    std::fprintf(stderr, "\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,30 @@
+// Fixture: await-cached-size must fire when a container size or emptiness
+// snapshot taken before a suspension point is read after it.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Server {
+  sim::Task<void> Drain();
+  sim::Task<int> SizeAfterAwait();
+  sim::Task<int> EmptyAfterAwait();
+  std::map<int, int> sessions_;
+};
+
+sim::Task<int> Server::SizeAfterAwait() {
+  size_t n = sessions_.size();
+  co_await Drain();
+  if (n > 0) {  // fires: the map may have changed while draining
+    co_return 1;
+  }
+  co_return 0;
+}
+
+sim::Task<int> Server::EmptyAfterAwait() {
+  bool none = sessions_.empty();
+  co_await Drain();
+  if (none) {  // fires
+    co_return 0;
+  }
+  co_return 1;
+}

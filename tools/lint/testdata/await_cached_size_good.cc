@@ -1,0 +1,36 @@
+// Fixture: await-cached-size must stay quiet when the snapshot is taken
+// after the last suspension, re-taken after it, or only read before it.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Server {
+  sim::Task<void> Drain();
+  sim::Task<int> FreshSize();
+  sim::Task<int> ResnapshotSize();
+  sim::Task<int> ReadBeforeAwait();
+  std::map<int, int> sessions_;
+};
+
+sim::Task<int> Server::FreshSize() {
+  co_await Drain();
+  size_t n = sessions_.size();
+  co_return n > 0 ? 1 : 0;
+}
+
+sim::Task<int> Server::ResnapshotSize() {
+  size_t n = sessions_.size();
+  if (n == 0) {
+    co_return 0;
+  }
+  co_await Drain();
+  n = sessions_.size();
+  co_return n > 0 ? 1 : 0;
+}
+
+sim::Task<int> Server::ReadBeforeAwait() {
+  bool none = sessions_.empty();
+  int result = none ? 0 : 1;
+  co_await Drain();
+  co_return result;
+}

@@ -1,0 +1,45 @@
+// Fixture: await-stale-ref must fire when a pointer, iterator, or reference
+// obtained from an unstable source before a suspension point is dereferenced
+// after it without being re-acquired.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Table {
+  Entry* Find(int key);         // unstable: returns a raw pointer
+  Entry& GetOrCreate(int key);  // lint: unstable-source
+  sim::Task<void> Flush();
+  std::map<int, Entry> entries_;
+};
+
+sim::Task<int> PointerAfterAwait(Table& table) {
+  Entry* e = table.Find(1);
+  co_await table.Flush();
+  co_return e->value;  // fires
+}
+
+sim::Task<int> IteratorAfterAwait(Table& table) {
+  auto it = table.entries_.find(1);
+  co_await table.Flush();
+  co_return it->second.value;  // fires
+}
+
+sim::Task<int> RefAfterAwait(Table& table) {
+  Entry& e = table.GetOrCreate(1);
+  co_await table.Flush();
+  co_return e.value;  // fires
+}
+
+sim::Task<int> LoopBackEdge(Table& table) {
+  int total = 0;
+  Entry* e = table.Find(1);
+  for (int i = 0; i < 3; ++i) {
+    total += e->value;  // fires: stale on every iteration after the first
+    co_await table.Flush();
+  }
+  co_return total;
+}

@@ -1,0 +1,52 @@
+// Fixture: await-stale-ref must stay quiet when the value is re-acquired
+// after the suspension, copied out before it, produced by the await itself,
+// or suppressed at the binding.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Table {
+  Entry* Find(int key);  // unstable: returns a raw pointer
+  sim::Task<void> Flush();
+  sim::Task<Entry> Fetch(int key);
+  std::map<int, Entry> entries_;
+};
+
+sim::Task<int> ReacquireAfterAwait(Table& table) {
+  Entry* e = table.Find(1);
+  co_await table.Flush();
+  e = table.Find(1);
+  co_return e->value;
+}
+
+sim::Task<int> CopyBeforeAwait(Table& table) {
+  Entry* e = table.Find(1);
+  int value = e->value;
+  co_await table.Flush();
+  co_return value;
+}
+
+sim::Task<int> ProducedByAwait(Table& table) {
+  Entry fresh = co_await table.Fetch(1);
+  co_await table.Flush();
+  co_return fresh.value;
+}
+
+sim::Task<int> SuspendingBranchReturns(Table& table, bool flush) {
+  Entry* e = table.Find(1);
+  if (flush) {
+    co_await table.Flush();
+    co_return 0;
+  }
+  co_return e->value;  // quiet: the branch that suspended already returned
+}
+
+sim::Task<int> SuppressedAtBinding(Table& table) {
+  Entry* e = table.Find(1);  // lint: await-stale-ref-ok
+  co_await table.Flush();
+  co_return e->value;
+}

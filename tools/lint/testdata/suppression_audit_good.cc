@@ -1,0 +1,9 @@
+// Fixture: suppression-audit must stay quiet when every suppression absorbs
+// a real diagnostic.
+#include "src/sim/task.h"
+
+sim::Task<void> Background();
+
+void Caller() {
+  Background();  // lint: task-dropped-ok
+}
