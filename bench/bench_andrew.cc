@@ -34,16 +34,19 @@ void PrintShapeCheck(const char* what, double measured, double lo, double hi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
+  bool traced = flags.tracing();
+
   std::printf("=== Table 5-1: Andrew benchmark, elapsed time in seconds ===\n");
   std::printf("(paper: SNFS ~25%% faster Copy, 20-30%% faster Make, ~5%% slower ScanDir/ReadAll,\n");
   std::printf(" 15-20%% faster overall; 10-trial averages on Titans; our substrate is a simulator)\n\n");
 
-  AndrewRun local = RunAndrewConfig(Protocol::kLocal, false);
-  AndrewRun nfs_lt = RunAndrewConfig(Protocol::kNfs, /*remote_tmp=*/false);
-  AndrewRun nfs_rt = RunAndrewConfig(Protocol::kNfs, /*remote_tmp=*/true);
-  AndrewRun snfs_lt = RunAndrewConfig(Protocol::kSnfs, /*remote_tmp=*/false);
-  AndrewRun snfs_rt = RunAndrewConfig(Protocol::kSnfs, /*remote_tmp=*/true);
+  AndrewRun local = RunAndrewConfig(Protocol::kLocal, false, {}, 2, traced);
+  AndrewRun nfs_lt = RunAndrewConfig(Protocol::kNfs, /*remote_tmp=*/false, {}, 2, traced);
+  AndrewRun nfs_rt = RunAndrewConfig(Protocol::kNfs, /*remote_tmp=*/true, {}, 2, traced);
+  AndrewRun snfs_lt = RunAndrewConfig(Protocol::kSnfs, /*remote_tmp=*/false, {}, 2, traced);
+  AndrewRun snfs_rt = RunAndrewConfig(Protocol::kSnfs, /*remote_tmp=*/true, {}, 2, traced);
 
   Table t1({"Phase", "Local", "NFS tmp=local", "SNFS tmp=local", "NFS tmp=remote",
             "SNFS tmp=remote"});
@@ -131,5 +134,26 @@ int main() {
                   Ratio(static_cast<double>(snfs_rt.server_disk_writes),
                         static_cast<double>(nfs_rt.server_disk_writes)),
                   0.30, 0.80);
+
+  if (traced) {
+    bench::PrintLatencyTable("=== RPC latency from rpc.call spans, NFS tmp=remote ===",
+                             nfs_rt.rpc_latency);
+    bench::PrintLatencyTable("=== RPC latency from rpc.call spans, SNFS tmp=remote ===",
+                             snfs_rt.rpc_latency);
+  }
+  if (!flags.json_path.empty()) {
+    bench::WriteBenchJson(flags.json_path, "andrew",
+                          {{"local", bench::AndrewRunJson(local)},
+                           {"nfs_tmp_local", bench::AndrewRunJson(nfs_lt)},
+                           {"snfs_tmp_local", bench::AndrewRunJson(snfs_lt)},
+                           {"nfs_tmp_remote", bench::AndrewRunJson(nfs_rt)},
+                           {"snfs_tmp_remote", bench::AndrewRunJson(snfs_rt)}});
+    std::printf("\nwrote %s\n", flags.json_path.c_str());
+  }
+  if (!flags.trace_path.empty()) {
+    bench::WriteTextFile(flags.trace_path, snfs_rt.chrome_json);
+    std::printf("\nwrote Chrome trace of SNFS tmp=remote (last trial) to %s\n",
+                flags.trace_path.c_str());
+  }
   return 0;
 }

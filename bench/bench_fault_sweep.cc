@@ -14,6 +14,7 @@
 // A non-OK cell means a seed violated an invariant; its seed number and
 // the first violation are printed for replay.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,11 @@ using fault::SweepResult;
 using metrics::Table;
 using testbed::ServerProtocol;
 
-constexpr int kSeeds = 20;
+// --seeds=N overrides; --trace-check records a causal trace per seed and
+// runs trace::CheckTrace over it (violations fail the seed like any other
+// invariant).
+int g_seeds = 20;
+bool g_trace_check = false;
 
 struct Mix {
   const char* name;
@@ -94,16 +99,17 @@ struct CellResult {
 CellResult RunCell(const Mix& mix, ServerProtocol protocol) {
   SweepOptions options = mix.options;
   options.protocol = protocol;
-  SweepResult result = fault::RunFaultSweep(options, /*first_seed=*/1, kSeeds);
+  options.trace_check = g_trace_check;
+  SweepResult result = fault::RunFaultSweep(options, /*first_seed=*/1, g_seeds);
 
   CellResult cell;
   double recovery_sum = 0;
   int recovery_n = 0;
   for (const SeedStats& s : result.seeds) {
-    cell.retrans += static_cast<double>(s.retransmissions) / kSeeds;
-    cell.dup_suppressed += static_cast<double>(s.duplicates_suppressed) / kSeeds;
-    cell.stale += static_cast<double>(s.stale_replies_dropped) / kSeeds;
-    cell.ops_ok += static_cast<double>(s.ops_ok) / kSeeds;
+    cell.retrans += static_cast<double>(s.retransmissions) / g_seeds;
+    cell.dup_suppressed += static_cast<double>(s.duplicates_suppressed) / g_seeds;
+    cell.stale += static_cast<double>(s.stale_replies_dropped) / g_seeds;
+    cell.ops_ok += static_cast<double>(s.ops_ok) / g_seeds;
     if (s.recovery_latency >= 0) {
       recovery_sum += static_cast<double>(s.recovery_latency) / 1e6;
       ++recovery_n;
@@ -121,9 +127,25 @@ CellResult RunCell(const Mix& mix, ServerProtocol protocol) {
 
 }  // namespace
 
-int main() {
-  std::printf("Fault matrix: %d seeds per cell, two clients, 90 s workload\n", kSeeds);
-  std::printf("(recovery = mean time from last server reboot to first completed op)\n\n");
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-check") {
+      g_trace_check = true;
+    } else if (arg.rfind("--seeds=", 0) == 0 && std::atoi(arg.c_str() + 8) > 0) {
+      g_seeds = std::atoi(arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-check] [--seeds=<n>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("Fault matrix: %d seeds per cell, two clients, 90 s workload\n", g_seeds);
+  std::printf("(recovery = mean time from last server reboot to first completed op)\n");
+  if (g_trace_check) {
+    std::printf("(trace checker enabled: every seed's causal trace is validated)\n");
+  }
+  std::printf("\n");
 
   Table table({"fault mix", "protocol", "ok", "ops/seed", "recovery",
                "retrans/seed", "dup supp/seed", "stale dropped"});

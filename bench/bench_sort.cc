@@ -29,7 +29,10 @@ void PrintShapeCheck(const char* what, double measured, double lo, double hi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
+  bool traced = flags.tracing();
+
   std::printf("=== Table 5-3: Sort benchmark, elapsed time in seconds ===\n");
   std::printf("(paper: 281k: 4/8/4; 1408k: 33/105/48; 2816k: 74/234/127 for local/NFS/SNFS)\n\n");
 
@@ -40,9 +43,9 @@ int main() {
 
   Table t3({"File size", "Temp storage", "local /usr/tmp", "NFS /usr/tmp", "SNFS /usr/tmp"});
   for (int i = 0; i < 3; ++i) {
-    local[i] = RunSortConfig(Protocol::kLocal, kSizes[i]);
-    nfs[i] = RunSortConfig(Protocol::kNfs, kSizes[i]);
-    snfs[i] = RunSortConfig(Protocol::kSnfs, kSizes[i]);
+    local[i] = RunSortConfig(Protocol::kLocal, kSizes[i], true, 1280, {}, traced);
+    nfs[i] = RunSortConfig(Protocol::kNfs, kSizes[i], true, 1280, {}, traced);
+    snfs[i] = RunSortConfig(Protocol::kSnfs, kSizes[i], true, 1280, {}, traced);
     t3.AddRow({Table::Int(kSizes[i] / 1024) + " k",
                Table::Int(local[i].report.temp_bytes_written / 1024) + " k",
                Table::Seconds(sim::ToSeconds(local[i].report.elapsed)),
@@ -112,5 +115,27 @@ int main() {
   double cpu_shape = snfs[2].client_cpu_utilization - nfs[2].client_cpu_utilization;
   PrintShapeCheck("SNFS minus NFS client CPU utilization (paper: positive)", cpu_shape, 0.01,
                   1.0);
+
+  if (traced) {
+    bench::PrintLatencyTable("=== RPC latency from rpc.call spans, NFS 2816k ===",
+                             nfs[2].rpc_latency);
+    bench::PrintLatencyTable("=== RPC latency from rpc.call spans, SNFS 2816k ===",
+                             snfs[2].rpc_latency);
+  }
+  if (!flags.json_path.empty()) {
+    std::vector<std::pair<std::string, std::string>> configs;
+    const char* kSizeNames[] = {"281k", "1408k", "2816k"};
+    for (int i = 0; i < 3; ++i) {
+      configs.emplace_back(std::string("local_") + kSizeNames[i], bench::SortRunJson(local[i]));
+      configs.emplace_back(std::string("nfs_") + kSizeNames[i], bench::SortRunJson(nfs[i]));
+      configs.emplace_back(std::string("snfs_") + kSizeNames[i], bench::SortRunJson(snfs[i]));
+    }
+    bench::WriteBenchJson(flags.json_path, "sort", configs);
+    std::printf("\nwrote %s\n", flags.json_path.c_str());
+  }
+  if (!flags.trace_path.empty()) {
+    bench::WriteTextFile(flags.trace_path, snfs[2].chrome_json);
+    std::printf("\nwrote Chrome trace of SNFS 2816k to %s\n", flags.trace_path.c_str());
+  }
   return 0;
 }

@@ -38,7 +38,10 @@ std::string RpcRow(const SortRun& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
+  bool traced = flags.tracing();
+
   constexpr uint64_t kInput = 2816 * 1024;
 
   std::printf("=== Table 5-5: Sort benchmark with infinite write-delay ===\n");
@@ -49,12 +52,14 @@ int main() {
   // "fit easily into the client cache" — this experiment runs with the full
   // 16 MB cache available, unlike the pressured Table 5-3 regime.
   constexpr size_t kFullCache = 4096;
-  SortRun local_on = RunSortConfig(Protocol::kLocal, kInput, /*sync_daemon=*/true, kFullCache);
-  SortRun local_off = RunSortConfig(Protocol::kLocal, kInput, /*sync_daemon=*/false, kFullCache);
-  SortRun nfs_on = RunSortConfig(Protocol::kNfs, kInput, true, kFullCache);
-  SortRun nfs_off = RunSortConfig(Protocol::kNfs, kInput, false, kFullCache);
-  SortRun snfs_on = RunSortConfig(Protocol::kSnfs, kInput, true, kFullCache);
-  SortRun snfs_off = RunSortConfig(Protocol::kSnfs, kInput, false, kFullCache);
+  SortRun local_on =
+      RunSortConfig(Protocol::kLocal, kInput, /*sync_daemon=*/true, kFullCache, {}, traced);
+  SortRun local_off =
+      RunSortConfig(Protocol::kLocal, kInput, /*sync_daemon=*/false, kFullCache, {}, traced);
+  SortRun nfs_on = RunSortConfig(Protocol::kNfs, kInput, true, kFullCache, {}, traced);
+  SortRun nfs_off = RunSortConfig(Protocol::kNfs, kInput, false, kFullCache, {}, traced);
+  SortRun snfs_on = RunSortConfig(Protocol::kSnfs, kInput, true, kFullCache, {}, traced);
+  SortRun snfs_off = RunSortConfig(Protocol::kSnfs, kInput, false, kFullCache, {}, traced);
 
   Table t5({"Version", "update daemon", "elapsed"});
   t5.AddRow({"local", "yes", Table::Seconds(sim::ToSeconds(local_on.report.elapsed))});
@@ -100,5 +105,24 @@ int main() {
                   Ratio(sim::ToSeconds(snfs_off.report.elapsed),
                         sim::ToSeconds(snfs_on.report.elapsed)),
                   0.2, 1.0);
+
+  if (traced) {
+    bench::PrintLatencyTable("=== RPC latency from rpc.call spans, SNFS no-update ===",
+                             snfs_off.rpc_latency);
+  }
+  if (!flags.json_path.empty()) {
+    bench::WriteBenchJson(flags.json_path, "sort_nodelay",
+                          {{"local_update", bench::SortRunJson(local_on)},
+                           {"local_noupdate", bench::SortRunJson(local_off)},
+                           {"nfs_update", bench::SortRunJson(nfs_on)},
+                           {"nfs_noupdate", bench::SortRunJson(nfs_off)},
+                           {"snfs_update", bench::SortRunJson(snfs_on)},
+                           {"snfs_noupdate", bench::SortRunJson(snfs_off)}});
+    std::printf("\nwrote %s\n", flags.json_path.c_str());
+  }
+  if (!flags.trace_path.empty()) {
+    bench::WriteTextFile(flags.trace_path, snfs_off.chrome_json);
+    std::printf("\nwrote Chrome trace of SNFS no-update to %s\n", flags.trace_path.c_str());
+  }
   return 0;
 }

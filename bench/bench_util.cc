@@ -1,6 +1,11 @@
 #include "bench/bench_util.h"
 
+#include <cinttypes>
+#include <cstdlib>
+#include <memory>
+
 #include "src/base/check.h"
+#include "src/trace/trace.h"
 
 namespace bench {
 
@@ -8,7 +13,40 @@ using testbed::Protocol;
 using testbed::Rig;
 using testbed::RigOptions;
 
-AndrewRun RunAndrewConfig(Protocol protocol, bool remote_tmp, RigOptions options, int trials) {
+BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = arg.substr(7);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      flags.trace_path = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=<path>] [--trace=<path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+namespace {
+
+// Harvests the recorder into the run's trace fields and uninstalls it.
+// Shared by the Andrew and Sort drivers via their identical field layout.
+template <typename Run>
+void HarvestTrace(std::unique_ptr<trace::Recorder>& recorder, Run& run) {
+  trace::SetActive(nullptr);
+  run.rpc_latency = recorder->SpanDurationsBy("rpc.call", "op");
+  run.trace_events = recorder->events().size();
+  run.trace_checksum = recorder->Checksum();
+  run.chrome_json = recorder->ToChromeJson();
+  recorder.reset();
+}
+
+}  // namespace
+
+AndrewRun RunAndrewConfig(Protocol protocol, bool remote_tmp, RigOptions options, int trials,
+                          bool enable_trace) {
   options.protocol = protocol;
   options.remote_tmp = remote_tmp;
   Rig rig(options);
@@ -30,6 +68,15 @@ AndrewRun RunAndrewConfig(Protocol protocol, bool remote_tmp, RigOptions options
     uint64_t disk_r = rig.served_disk().reads();
     sim::Duration cpu0 = rig.server() != nullptr ? rig.server()->cpu().busy_time() : 0;
 
+    // Fresh recorder per trial so the reported (last) trial's trace is not
+    // diluted by warm-up trials. Recording never schedules simulator events,
+    // so timings are identical with or without it.
+    std::unique_ptr<trace::Recorder> recorder;
+    if (enable_trace) {
+      recorder = std::make_unique<trace::Recorder>(rig.simulator());
+      trace::SetActive(recorder.get());
+    }
+
     bool ok = false;
     rig.simulator().Spawn(
         [](Rig& rig, workload::AndrewConfig config, AndrewRun* run, bool* ok) -> sim::Task<void> {
@@ -41,6 +88,9 @@ AndrewRun RunAndrewConfig(Protocol protocol, bool remote_tmp, RigOptions options
         }(rig, config, &run, &ok));
     rig.simulator().Run();
     CHECK(ok);
+    if (recorder != nullptr) {
+      HarvestTrace(recorder, run);
+    }
 
     run.rpcs = rig.client_rpcs().Diff(before);
     run.server_disk_writes = rig.served_disk().writes() - disk_w;
@@ -52,7 +102,7 @@ AndrewRun RunAndrewConfig(Protocol protocol, bool remote_tmp, RigOptions options
 }
 
 SortRun RunSortConfig(Protocol protocol, uint64_t input_bytes, bool sync_daemon,
-                      size_t usable_cache_blocks, RigOptions options) {
+                      size_t usable_cache_blocks, RigOptions options, bool enable_trace) {
   options.protocol = protocol;
   options.remote_tmp = protocol != Protocol::kLocal;  // only the temp dir varies
   options.client.cache.enable_sync_daemon = sync_daemon;
@@ -78,6 +128,13 @@ SortRun RunSortConfig(Protocol protocol, uint64_t input_bytes, bool sync_daemon,
   uint64_t disk_w = rig.served_disk().writes();
   sim::Duration cpu0 = rig.client().cpu().busy_time();
 
+  // Installed after the input population so the trace covers just the sort.
+  std::unique_ptr<trace::Recorder> recorder;
+  if (enable_trace) {
+    recorder = std::make_unique<trace::Recorder>(rig.simulator());
+    trace::SetActive(recorder.get());
+  }
+
   SortRun run;
   bool ok = false;
   rig.simulator().Spawn(
@@ -91,6 +148,9 @@ SortRun RunSortConfig(Protocol protocol, uint64_t input_bytes, bool sync_daemon,
       }(rig, config, &run, &ok));
   rig.simulator().Run();
   CHECK(ok);
+  if (recorder != nullptr) {
+    HarvestTrace(recorder, run);
+  }
 
   run.rpcs = rig.client_rpcs().Diff(before);
   run.server_disk_writes = rig.served_disk().writes() - disk_w;
@@ -100,6 +160,158 @@ SortRun RunSortConfig(Protocol protocol, uint64_t input_bytes, bool sync_daemon,
           ? static_cast<double>(cpu_used) / static_cast<double>(run.report.elapsed)
           : 0.0;
   return run;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonInt(uint64_t v) { return std::to_string(v); }
+
+std::string RpcCountsJson(const metrics::OpCounters& rpcs) {
+  std::string out = "{";
+  bool first = true;
+  rpcs.ForEachNonZero([&](proto::OpKind kind, uint64_t count) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + std::string(proto::OpKindName(kind)) + "\":" + JsonInt(count);
+  });
+  out += "}";
+  return out;
+}
+
+std::string LatencyJson(const std::map<std::string, metrics::Histogram>& by_op) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [op, hist] : by_op) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + JsonEscape(op) + "\":{\"count\":" + JsonInt(hist.count()) +
+           ",\"mean_us\":" + JsonNum(hist.Mean()) + ",\"p50_us\":" + JsonNum(hist.Percentile(50)) +
+           ",\"p95_us\":" + JsonNum(hist.Percentile(95)) +
+           ",\"p99_us\":" + JsonNum(hist.Percentile(99)) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string ChecksumHex(uint64_t checksum) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, checksum);
+  return buf;
+}
+
+}  // namespace
+
+std::string AndrewRunJson(const AndrewRun& run) {
+  std::string out = "{";
+  out += "\"elapsed_s\":" + JsonNum(sim::ToSeconds(run.report.total));
+  out += ",\"phases_s\":{";
+  for (int p = 0; p < workload::kNumAndrewPhases; ++p) {
+    auto phase = static_cast<workload::AndrewPhase>(p);
+    if (p > 0) {
+      out += ",";
+    }
+    out += "\"" + std::string(workload::AndrewPhaseName(phase)) +
+           "\":" + JsonNum(sim::ToSeconds(run.report.phase_time[p]));
+  }
+  out += "}";
+  out += ",\"rpc\":" + RpcCountsJson(run.rpcs);
+  out += ",\"rpc_total\":" + JsonInt(run.rpcs.Total());
+  out += ",\"rpc_data_transfer\":" + JsonInt(run.rpcs.DataTransfer());
+  out += ",\"server_cpu_pct\":" +
+         JsonNum(run.wall > 0
+                     ? 100.0 * static_cast<double>(run.server_cpu_busy) /
+                           static_cast<double>(run.wall)
+                     : 0.0);
+  out += ",\"server_disk_writes\":" + JsonInt(run.server_disk_writes);
+  out += ",\"server_disk_reads\":" + JsonInt(run.server_disk_reads);
+  if (run.trace_events > 0) {
+    out += ",\"rpc_latency_us\":" + LatencyJson(run.rpc_latency);
+    out += ",\"trace_events\":" + JsonInt(run.trace_events);
+    out += ",\"trace_checksum\":\"fnv1a:" + ChecksumHex(run.trace_checksum) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string SortRunJson(const SortRun& run) {
+  std::string out = "{";
+  out += "\"elapsed_s\":" + JsonNum(sim::ToSeconds(run.report.elapsed));
+  out += ",\"input_bytes\":" + JsonInt(run.report.input_bytes);
+  out += ",\"temp_bytes_written\":" + JsonInt(run.report.temp_bytes_written);
+  out += ",\"rpc\":" + RpcCountsJson(run.rpcs);
+  out += ",\"rpc_total\":" + JsonInt(run.rpcs.Total());
+  out += ",\"rpc_data_transfer\":" + JsonInt(run.rpcs.DataTransfer());
+  out += ",\"client_cpu_pct\":" + JsonNum(100.0 * run.client_cpu_utilization);
+  out += ",\"server_disk_writes\":" + JsonInt(run.server_disk_writes);
+  if (run.trace_events > 0) {
+    out += ",\"rpc_latency_us\":" + LatencyJson(run.rpc_latency);
+    out += ",\"trace_events\":" + JsonInt(run.trace_events);
+    out += ",\"trace_checksum\":\"fnv1a:" + ChecksumHex(run.trace_checksum) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  CHECK(f != nullptr);
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  CHECK(written == content.size());
+  CHECK(std::fclose(f) == 0);
+}
+
+void WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<std::pair<std::string, std::string>>& configs) {
+  std::string out = "{\"bench\":\"" + JsonEscape(bench_name) + "\",\"configs\":{";
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\"" + JsonEscape(configs[i].first) + "\":" + configs[i].second;
+  }
+  out += "}}\n";
+  WriteTextFile(path, out);
+}
+
+void PrintLatencyTable(const std::string& title,
+                       const std::map<std::string, metrics::Histogram>& by_op) {
+  std::printf("\n%s\n", title.c_str());
+  metrics::Table table({"Operation", "count", "p50 ms", "p95 ms", "p99 ms"});
+  for (const auto& [op, hist] : by_op) {
+    table.AddRow({op, metrics::Table::Int(hist.count()),
+                  metrics::Table::Num(hist.Percentile(50) / 1000.0, 3),
+                  metrics::Table::Num(hist.Percentile(95) / 1000.0, 3),
+                  metrics::Table::Num(hist.Percentile(99) / 1000.0, 3)});
+  }
+  table.Print();
 }
 
 }  // namespace bench

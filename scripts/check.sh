@@ -23,6 +23,11 @@ cmake --build build -j
 echo "== snfslint: simulator-aware static analysis =="
 ./build/tools/lint/snfslint --root . src tests bench examples
 
+echo "== trace checker: one fault-sweep seed with causal-trace validation =="
+# Records every cell of the sweep and runs the stale-read / concurrent-dirty /
+# retransmit-once checker over the trace; any violation aborts the cell.
+./build/bench/bench_fault_sweep --trace-check --seeds=1 >/dev/null
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy: generic bug patterns (gating) =="
   mapfile -t tidy_sources < <(find src -name '*.cc' | sort)

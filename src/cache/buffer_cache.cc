@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace cache {
 
@@ -123,11 +124,31 @@ void BufferCache::EraseEntry(const Key& key) {
   entries_.erase(it);
 }
 
+void BufferCache::NoteDirtyTransition(const FileKey& fk, bool was_dirty) {
+  trace::Recorder* recorder = trace::Active();
+  if (recorder == nullptr) {
+    return;
+  }
+  const Backing& backing = mounts_[fk.mount];
+  if (backing.trace_name.empty()) {
+    return;
+  }
+  bool now_dirty = HasDirty(fk.mount, fk.fileid);
+  if (now_dirty == was_dirty) {
+    return;
+  }
+  recorder->Instant(now_dirty ? "cache.file_dirty" : "cache.file_clean", backing.trace_machine,
+                    "scope=" + backing.trace_name + " file=" + std::to_string(fk.fileid));
+}
+
 void BufferCache::MarkDirty(const Key& key, Entry& entry) {
   if (!entry.dirty) {
+    FileKey fk{key.mount, key.fileid};
+    bool was_dirty = trace::Active() != nullptr && HasDirty(fk.mount, fk.fileid);
     entry.dirty = true;
     entry.dirty_since = simulator_.Now();
-    dirty_blocks_[FileKey{key.mount, key.fileid}].insert(key.block);
+    dirty_blocks_[fk].insert(key.block);
+    NoteDirtyTransition(fk, was_dirty);
   }
 }
 
@@ -135,6 +156,7 @@ void BufferCache::MarkClean(const Key& key, Entry& entry) {
   if (entry.dirty) {
     entry.dirty = false;
     FileKey fk{key.mount, key.fileid};
+    bool was_dirty = trace::Active() != nullptr && HasDirty(fk.mount, fk.fileid);
     auto it = dirty_blocks_.find(fk);
     if (it != dirty_blocks_.end()) {
       it->second.erase(key.block);
@@ -142,13 +164,17 @@ void BufferCache::MarkClean(const Key& key, Entry& entry) {
         dirty_blocks_.erase(it);
       }
     }
+    NoteDirtyTransition(fk, was_dirty);
   }
 }
 
 void BufferCache::RegisterStore(const Key& key) {
-  ++flushing_files_[FileKey{key.mount, key.fileid}];
+  FileKey fk{key.mount, key.fileid};
+  bool was_dirty = trace::Active() != nullptr && HasDirty(fk.mount, fk.fileid);
+  ++flushing_files_[fk];
   auto [it, inserted] = in_flight_stores_.emplace(key, sim::Promise<bool>(simulator_));
   CHECK(inserted);
+  NoteDirtyTransition(fk, was_dirty);
 }
 
 void BufferCache::FinishStore(const Key& key) {
@@ -158,17 +184,27 @@ void BufferCache::FinishStore(const Key& key) {
     in_flight_stores_.erase(it);
   }
   FileKey fk{key.mount, key.fileid};
+  bool was_dirty = trace::Active() != nullptr && HasDirty(fk.mount, fk.fileid);
   auto fit = flushing_files_.find(fk);
   CHECK(fit != flushing_files_.end());
   if (--fit->second == 0) {
     flushing_files_.erase(fit);
   }
+  NoteDirtyTransition(fk, was_dirty);
 }
 
 // Registered store: the caller already called RegisterStore(key).
 sim::Task<void> BufferCache::PerformStore(Key key, std::vector<uint8_t> data) {
   ++stats_.writebacks;
+  trace::Span store_span;
+  if (trace::Active() != nullptr) {
+    store_span.Begin("cache.writeback", mounts_[key.mount].trace_machine,
+                     "scope=" + mounts_[key.mount].trace_name +
+                         " file=" + std::to_string(key.fileid) +
+                         " block=" + std::to_string(key.block));
+  }
   auto result = co_await mounts_[key.mount].store(key.fileid, key.block, std::move(data));
+  store_span.End(std::string("ok=") + (result.ok() ? "1" : "0"));
   FinishStore(key);
   if (!result.ok()) {
     LOG_ERROR("cache", "writeback failed for file %llu block %llu: %s",
@@ -238,7 +274,15 @@ sim::Task<base::Result<void>> BufferCache::FetchInto(Key key, uint64_t file_size
     sim::Future<bool> done = flight->second.GetFuture();
     co_await done;
   }
+  trace::Span fetch_span;
+  if (trace::Active() != nullptr) {
+    fetch_span.Begin("cache.fetch", mounts_[key.mount].trace_machine,
+                     "scope=" + mounts_[key.mount].trace_name +
+                         " file=" + std::to_string(key.fileid) +
+                         " block=" + std::to_string(key.block));
+  }
   auto fetched = co_await mounts_[key.mount].fetch(key.fileid, key.block);
+  fetch_span.End(std::string("ok=") + (fetched.ok() ? "1" : "0"));
   if (!fetched.ok()) {
     co_return fetched.status();
   }
@@ -479,6 +523,24 @@ uint64_t BufferCache::CancelDirty(int mount, uint64_t fileid) {
 }
 
 void BufferCache::DropAll() {
+  if (trace::Active() != nullptr) {
+    // The dirty data just died with the kernel: close out the traced dirty
+    // state so the checker does not blame this machine for blocks it no
+    // longer holds. (std::set gives deterministic event order.)
+    std::set<FileKey> dirty_files;
+    for (const auto& [fk, blocks] : dirty_blocks_) {  // lint: ordered-ok (sorted below)
+      dirty_files.insert(fk);
+    }
+    entries_.clear();
+    lru_.clear();
+    dirty_blocks_.clear();
+    // NoteDirtyTransition reads live state: a file with a write-back still
+    // in flight stays dirty (flushing_files_) and emits nothing here.
+    for (const FileKey& fk : dirty_files) {
+      NoteDirtyTransition(fk, /*was_dirty=*/true);
+    }
+    return;
+  }
   entries_.clear();
   lru_.clear();
   dirty_blocks_.clear();

@@ -27,6 +27,7 @@
 #include <list>
 #include <map>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +77,10 @@ struct Backing {
   std::function<sim::Task<base::Result<void>>(uint64_t fileid, uint64_t block,
                                               std::vector<uint8_t> data)>
       store;
+  // Trace attribution (src/trace). Empty trace_name = untraced mount; the
+  // SNFS client sets "snfs" so the trace checker can watch its dirty files.
+  std::string trace_name;
+  int trace_machine = -1;
 };
 
 struct CacheStats {
@@ -182,6 +187,9 @@ class BufferCache {
   void EraseEntry(const Key& key);
   void MarkDirty(const Key& key, Entry& entry);
   void MarkClean(const Key& key, Entry& entry);
+  // Emits a cache.file_dirty / cache.file_clean trace instant when the
+  // file's HasDirty state differs from `was_dirty` (no-op when untraced).
+  void NoteDirtyTransition(const FileKey& fk, bool was_dirty);
   sim::Task<void> EvictIfNeeded();
   sim::Task<void> AsyncStore(Key key, std::vector<uint8_t> data);
   sim::Task<void> SyncDaemon();

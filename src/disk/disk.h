@@ -19,6 +19,7 @@
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+#include "src/trace/trace.h"
 
 namespace disk {
 
@@ -65,6 +66,16 @@ class Disk {
   static constexpr uint64_t kNoStream = ~0ULL;
 
   sim::Task<void> Access(uint64_t stream, uint64_t block, uint32_t bytes, bool is_write) {
+    // Span covers queue wait + service time; the machine is inherited from
+    // the causing span (the disk itself has no network host id).
+    trace::Span io_span;
+    if (trace::Active() != nullptr) {
+      io_span.Begin(is_write ? "disk.write" : "disk.read", trace::kInheritMachine,
+                    "bytes=" + std::to_string(bytes) +
+                        (stream == kNoStream ? std::string(" stream=meta")
+                                             : " stream=" + std::to_string(stream) +
+                                                   " block=" + std::to_string(block)));
+    }
     co_await queue_.Acquire();
     bool sequential =
         stream != kNoStream && stream == last_stream_ && block == last_block_ + 1;
@@ -86,6 +97,7 @@ class Disk {
       ++reads_;
       bytes_read_ += bytes;
     }
+    io_span.End(sequential ? "seq=1" : "seq=0");
     queue_.Release();
   }
 

@@ -12,6 +12,8 @@
 #include "src/snfs/server.h"
 #include "src/snfs/state_table.h"
 #include "src/testbed/fault_runner.h"
+#include "src/trace/checker.h"
+#include "src/trace/trace.h"
 #include "src/vfs/vfs.h"
 
 namespace fault {
@@ -219,6 +221,14 @@ SeedStats RunFaultSeed(const SweepOptions& options, uint64_t seed) {
   }
   net::Network network(simulator, net_params, /*seed=*/11);
 
+  // Install the recorder before any machine exists so span ids are assigned
+  // identically on every replay of this (options, seed) pair.
+  std::unique_ptr<trace::Recorder> recorder;
+  if (options.trace_check) {
+    recorder = std::make_unique<trace::Recorder>(simulator);
+    trace::SetActive(recorder.get());
+  }
+
   testbed::ServerMachine server(simulator, network, "server", options.protocol, options.server);
   std::vector<std::unique_ptr<testbed::ClientMachine>> clients;
   std::vector<testbed::ClientMachine*> client_ptrs;
@@ -250,6 +260,16 @@ SeedStats RunFaultSeed(const SweepOptions& options, uint64_t seed) {
     simulator.Spawn(FinalReadback(simulator, run, server, *clients[i], i));
   }
   simulator.RunUntil(options.horizon + options.drain);
+
+  if (recorder != nullptr) {
+    trace::SetActive(nullptr);
+    run.stats.trace_events = recorder->events().size();
+    std::vector<trace::Violation> violations = trace::CheckTrace(recorder->events());
+    run.stats.trace_violations = violations.size();
+    if (!violations.empty()) {
+      Fail(run, "trace checker: [" + violations.front().rule + "] " + violations.front().message);
+    }
+  }
 
   run.stats.retransmissions = server.peer().retransmissions();
   run.stats.duplicates_suppressed = server.peer().duplicates_suppressed();

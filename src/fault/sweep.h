@@ -51,6 +51,10 @@ struct SweepOptions {
   nfs::NfsClientParams nfs;
   snfs::SnfsClientParams snfs;
 
+  // Record a causal trace of the whole run and validate it with
+  // trace::CheckTrace; violations fail the seed like any other invariant.
+  bool trace_check = false;
+
   SweepOptions() {
     // Recovery on by default: the sweep exists to exercise the crash paths.
     server.snfs.enable_recovery = true;
@@ -71,6 +75,9 @@ struct SeedStats {
   uint64_t ops_failed = 0;
   uint64_t reads_verified = 0;
   uint64_t invariant_checks = 0;
+
+  uint64_t trace_events = 0;      // events recorded (0 unless trace_check)
+  uint64_t trace_violations = 0;  // checker findings (first one fails the seed)
 
   uint64_t retransmissions = 0;        // summed over all peers
   uint64_t duplicates_suppressed = 0;  // summed over all peers

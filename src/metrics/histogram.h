@@ -1,0 +1,66 @@
+// A simple value histogram for per-op latency percentiles (p50/p95/p99 in
+// the bench output). Values are kept exactly and percentiles computed by
+// nearest-rank on demand; bench-scale populations (thousands of RPCs) make
+// the O(n log n) sort irrelevant.
+#ifndef SRC_METRICS_HISTOGRAM_H_
+#define SRC_METRICS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace metrics {
+
+class Histogram {
+ public:
+  void Add(double value) { values_.push_back(value); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double Min() const {
+    return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+  }
+  double Max() const {
+    return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+  }
+
+  double Mean() const {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    double sum = 0;
+    for (double v : values_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(values_.size());
+  }
+
+  // Nearest-rank percentile: the smallest value such that at least p percent
+  // of the population is <= it. `p` in [0, 100].
+  double Percentile(double p) const {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0) {
+      return sorted.front();
+    }
+    size_t rank = static_cast<size_t>(p / 100.0 * static_cast<double>(sorted.size()) + 0.999999);
+    if (rank == 0) {
+      rank = 1;
+    }
+    if (rank > sorted.size()) {
+      rank = sorted.size();
+    }
+    return sorted[rank - 1];
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_HISTOGRAM_H_

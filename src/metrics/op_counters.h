@@ -33,6 +33,18 @@ class OpCounters {
   // Everything that is neither a read nor a write (Table 5-6's "Others").
   uint64_t Others() const { return Total() - DataTransfer(); }
 
+  // Visits (kind, count) for every non-zero counter, in OpKind declaration
+  // order. The order is a guarantee: exporters (bench --json) rely on it to
+  // produce byte-stable output across runs and platforms.
+  template <typename Fn>
+  void ForEachNonZero(Fn&& fn) const {
+    for (int i = 0; i < proto::kNumOpKinds; ++i) {
+      if (counts_[static_cast<size_t>(i)] != 0) {
+        fn(static_cast<proto::OpKind>(i), counts_[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
   OpCounters Diff(const OpCounters& earlier) const {
     OpCounters d;
     for (int i = 0; i < proto::kNumOpKinds; ++i) {

@@ -1,36 +1,55 @@
 #include "src/metrics/time_series.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "src/base/check.h"
 
 namespace metrics {
 
 double TimeSeries::Correlation(const TimeSeries& a, const TimeSeries& b) {
-  size_t n = a.samples_.size() < b.samples_.size() ? a.samples_.size() : b.samples_.size();
+  // Align by timestamp: both series are pushed in time order by the sampler
+  // daemons, but one may have missed windows (machine down, late start).
+  // Pairing by index would then correlate values sampled at different times.
+  std::vector<std::pair<double, double>> aligned;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.samples_.size() && j < b.samples_.size()) {
+    if (a.samples_[i].at < b.samples_[j].at) {
+      ++i;
+    } else if (b.samples_[j].at < a.samples_[i].at) {
+      ++j;
+    } else {
+      aligned.emplace_back(a.samples_[i].value, b.samples_[j].value);
+      ++i;
+      ++j;
+    }
+  }
+  size_t n = aligned.size();
   if (n < 2) {
-    return 0.0;
+    return 0.0;  // correlation needs at least two aligned points
   }
   double mean_a = 0;
   double mean_b = 0;
-  for (size_t i = 0; i < n; ++i) {
-    mean_a += a.samples_[i].value;
-    mean_b += b.samples_[i].value;
+  for (const auto& [va, vb] : aligned) {
+    mean_a += va;
+    mean_b += vb;
   }
   mean_a /= static_cast<double>(n);
   mean_b /= static_cast<double>(n);
   double cov = 0;
   double var_a = 0;
   double var_b = 0;
-  for (size_t i = 0; i < n; ++i) {
-    double da = a.samples_[i].value - mean_a;
-    double db = b.samples_[i].value - mean_b;
+  for (const auto& [va, vb] : aligned) {
+    double da = va - mean_a;
+    double db = vb - mean_b;
     cov += da * db;
     var_a += da * da;
     var_b += db * db;
   }
   if (var_a == 0 || var_b == 0) {
-    return 0.0;
+    return 0.0;  // a constant series correlates with nothing
   }
   return cov / std::sqrt(var_a * var_b);
 }

@@ -42,7 +42,13 @@ class TimeSeries {
     return sum / static_cast<double>(samples_.size());
   }
 
-  // Pearson correlation against another series sampled at the same times.
+  // Pearson correlation of the two series over the timestamps present in
+  // BOTH. Samples are matched by `at` (two-pointer merge over the
+  // time-ordered series), not by index, so a series that missed a sampling
+  // window does not shift every later pair against the wrong partner.
+  // Returns 0 when fewer than two timestamps align, or when either aligned
+  // sub-series has zero variance (the correlation is undefined; 0 reads as
+  // "no linear relationship observed").
   // The paper observes server load is strongly correlated with aggregate
   // call rate but not with read/write rate.
   static double Correlation(const TimeSeries& a, const TimeSeries& b);

@@ -1,9 +1,11 @@
 #include "src/net/network.h"
 
+#include <string>
 #include <utility>
 
 #include "src/base/check.h"
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace net {
 
@@ -27,13 +29,19 @@ void Network::Send(Packet packet) {
   ++packets_sent_;
   uint32_t bytes = proto::WireSize(packet.envelope);
   bytes_sent_ += bytes;
+  TRACE_INSTANT("net.send", packet.src.host,
+                "dst=" + std::to_string(packet.dst.host) + " bytes=" + std::to_string(bytes));
 
   if (!hosts_[packet.src.host].up || !hosts_[packet.dst.host].up) {
     ++packets_dropped_;
+    TRACE_INSTANT("net.drop", packet.src.host,
+                  "dst=" + std::to_string(packet.dst.host) + " reason=down");
     return;
   }
   if (params_.loss_rate > 0 && rng_.Bernoulli(params_.loss_rate)) {
     ++packets_dropped_;
+    TRACE_INSTANT("net.drop", packet.src.host,
+                  "dst=" + std::to_string(packet.dst.host) + " reason=loss");
     LOG_DEBUG("net", "dropped packet %d->%d (%u bytes)", packet.src.host, packet.dst.host, bytes);
     return;
   }
@@ -47,6 +55,8 @@ void Network::Send(Packet packet) {
         injector_->OnSend(packet.src.host, packet.dst.host, simulator_.Now());
     if (d.drop) {
       ++packets_dropped_;
+      TRACE_INSTANT("net.drop", packet.src.host,
+                    "dst=" + std::to_string(packet.dst.host) + " reason=fault");
       LOG_DEBUG("net", "fault-dropped packet %d->%d (%u bytes)", packet.src.host,
                 packet.dst.host, bytes);
       return;
@@ -63,12 +73,23 @@ void Network::Send(Packet packet) {
 
 void Network::Deliver(Packet packet, sim::Duration delay) {
   int dst = packet.dst.host;
-  simulator_.Schedule(delay, [this, dst, p = std::move(packet)]() mutable {
+  // Capture the sender's ambient span: the delivery lambda runs from the
+  // event loop (ambient reset to 0), so receive-side instants must be
+  // attributed explicitly to stay causally linked to the send.
+  uint64_t send_span = sim::tracectx::current_span;
+  simulator_.Schedule(delay, [this, dst, send_span, p = std::move(packet)]() mutable {
     // Re-check liveness at delivery time: the receiver may have crashed
     // while the packet was in flight.
     if (!hosts_[dst].up) {
       ++packets_dropped_;
+      if (trace::Recorder* recorder = trace::Active()) {
+        recorder->InstantInSpan(send_span, "net.drop", dst, "reason=down");
+      }
       return;
+    }
+    if (trace::Recorder* recorder = trace::Active()) {
+      recorder->InstantInSpan(send_span, "net.recv", dst,
+                              "src=" + std::to_string(p.src.host));
     }
     hosts_[dst].rx->Send(std::move(p));
   });

@@ -1,8 +1,10 @@
 #include "src/nfs/client.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace nfs {
 
@@ -57,6 +59,8 @@ NfsClient::NfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address se
     }
     co_return base::OkStatus();
   };
+  backing.trace_name = "nfs";
+  backing.trace_machine = peer_.address().host;
   mount_id_ = cache_.RegisterMount(std::move(backing));
 }
 
@@ -101,6 +105,8 @@ void NfsClient::InvalidateData(NfsNode& node) {
   cache_.InvalidateFile(mount_id_, node.fh.fileid);
   node.cached_data_mtime = -1;
   ++cache_invalidations_;
+  TRACE_INSTANT("nfs.invalidated", peer_.address().host,
+                "file=" + std::to_string(node.fh.fileid) + " reason=mtime");
 }
 
 sim::Task<base::Result<void>> NfsClient::Probe(NodeRef node) {

@@ -253,6 +253,11 @@ Reply OkReply(T body) {
 struct Envelope {
   uint64_t xid = 0;
   bool is_reply = false;
+  // Causal trace span of the sender (src/trace): requests carry the client
+  // attempt's span so the server handler can parent under it; replies carry
+  // the handler's span. Debug metadata — deliberately excluded from
+  // WireSize() so enabling tracing cannot change simulated timings.
+  uint64_t trace_span = 0;
   Request request;  // valid when !is_reply
   Reply reply;      // valid when is_reply
 };

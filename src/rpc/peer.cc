@@ -1,9 +1,11 @@
 #include "src/rpc/peer.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace rpc {
 
@@ -84,6 +86,13 @@ sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Reques
   uint64_t xid = next_xid_++;
   client_ops_.Add(proto::KindOf(request));
 
+  trace::Span call_span;
+  if (trace::Active() != nullptr) {
+    call_span.Begin("rpc.call", address_.host,
+                    "op=" + std::string(proto::OpKindName(proto::KindOf(request))) +
+                        " xid=" + std::to_string(xid) + " dst=" + std::to_string(dst.host));
+  }
+
   uint32_t wire = proto::WireSize(request);
   co_await cpu_.Run(options_.costs.client_per_call + PayloadCost(wire));
 
@@ -91,15 +100,24 @@ sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Reques
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++retransmissions_;
+      TRACE_INSTANT("rpc.retransmit", address_.host,
+                    "xid=" + std::to_string(xid) + " attempt=" + std::to_string(attempt + 1));
       LOG_DEBUG("rpc", "%s retransmit xid=%llu attempt=%d", name_.c_str(),
                 static_cast<unsigned long long>(xid), attempt + 1);
     }
     sim::Promise<proto::Reply> promise(simulator_);
     pending_.insert_or_assign(xid, promise);
 
+    trace::Span attempt_span;
+    if (trace::Active() != nullptr) {
+      attempt_span.Begin("rpc.attempt", address_.host,
+                         "attempt=" + std::to_string(attempt + 1));
+    }
+
     proto::Envelope env;
     env.xid = xid;
     env.is_reply = false;
+    env.trace_span = attempt_span.id();
     env.request = request;  // copy retained for retransmission
     SendEnvelope(dst, std::move(env));
 
@@ -112,11 +130,15 @@ sim::Task<base::Result<proto::Reply>> Peer::Call(net::Address dst, proto::Reques
     if (reply.status != base::ErrTimedOut()) {
       pending_.erase(xid);
       co_await cpu_.Run(PayloadCost(proto::WireSize(reply)));
+      attempt_span.End("status=reply");
+      call_span.End("status=done attempts=" + std::to_string(attempt + 1));
       co_return reply;
     }
+    attempt_span.End("status=timeout");
     timeout = static_cast<sim::Duration>(static_cast<double>(timeout) * options.backoff);
   }
   pending_.erase(xid);
+  call_span.End("status=timeout attempts=" + std::to_string(options.max_attempts));
   co_return base::ErrTimedOut();
 }
 
@@ -152,6 +174,12 @@ void Peer::HandleIncomingRequest(net::Packet packet) {
   auto it = dup_cache_.find(key);
   if (it != dup_cache_.end()) {
     ++duplicates_suppressed_;
+    if (trace::Recorder* recorder = trace::Active()) {
+      recorder->InstantInSpan(packet.envelope.trace_span, "rpc.dup_hit", address_.host,
+                              "from=" + std::to_string(packet.src.host) +
+                                  " xid=" + std::to_string(packet.envelope.xid) +
+                                  " done=" + (it->second.done ? "1" : "0"));
+    }
     if (it->second.done) {
       // Resend the cached reply without re-executing (exactly-once effect).
       proto::Envelope env;
@@ -182,7 +210,8 @@ void Peer::HandleIncomingRequest(net::Packet packet) {
     }
     it = dup_order_.erase(it);
   }
-  work_queue_->Send(Incoming{packet.src, packet.envelope.xid, std::move(packet.envelope.request)});
+  work_queue_->Send(Incoming{packet.src, packet.envelope.xid, std::move(packet.envelope.request),
+                             packet.envelope.trace_span});
 }
 
 sim::Task<void> Peer::Worker(uint64_t generation) {
@@ -194,6 +223,16 @@ sim::Task<void> Peer::Worker(uint64_t generation) {
     if (worker_hook_) {
       worker_hook_(WorkerEvent{WorkerEvent::Phase::kBeforeHandler, incoming->xid,
                                incoming->from.host, &incoming->request});
+    }
+    trace::Span handle_span;
+    if (trace::Active() != nullptr) {
+      // Parent under the client attempt's span (carried in the envelope), so
+      // the server-side execution hangs off the call that caused it.
+      handle_span.BeginUnder(
+          incoming->trace_span, "rpc.handle", address_.host,
+          "op=" + std::string(proto::OpKindName(proto::KindOf(incoming->request))) +
+              " from=" + std::to_string(incoming->from.host) +
+              " xid=" + std::to_string(incoming->xid) + " gen=" + std::to_string(generation));
     }
     uint32_t wire = proto::WireSize(incoming->request);
     co_await cpu_.Run(options_.costs.server_per_call + PayloadCost(wire));
@@ -233,11 +272,14 @@ sim::Task<void> Peer::Worker(uint64_t generation) {
       it->second.reply = reply;
     }
 
+    bool handler_ok = reply.status.ok();
     proto::Envelope env;
     env.xid = incoming->xid;
     env.is_reply = true;
+    env.trace_span = handle_span.id();
     env.reply = std::move(reply);
     SendEnvelope(incoming->from, std::move(env));
+    handle_span.End(std::string("ok=") + (handler_ok ? "1" : "0"));
   }
 }
 

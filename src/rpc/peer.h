@@ -152,6 +152,7 @@ class Peer {
     net::Address from;
     uint64_t xid;
     proto::Request request;
+    uint64_t trace_span = 0;  // sender's span, parents the handler span
   };
 
   sim::Task<void> ReceiveLoop();

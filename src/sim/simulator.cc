@@ -70,6 +70,9 @@ bool Simulator::Step() {
   ++events_processed_;
   CHECK_LT(events_processed_, max_events_);
   g_current = this;
+  // Plain scheduled lambdas (timers, packet deliveries) run unattributed;
+  // coroutine resumptions restore their own span via Task's awaiter hooks.
+  tracectx::current_span = 0;
   fn();
   return true;
 }

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/sim/trace_ctx.h"
 
 namespace sim {
 
@@ -30,11 +31,56 @@ class Task;
 
 namespace detail {
 
+// Wraps every awaitable co_awaited inside a Task coroutine: the ambient
+// trace span is saved when the coroutine suspends and restored when it
+// resumes, so spans follow the causal chain instead of whichever coroutine
+// happens to run next. The `suspended` flag keeps the no-suspend fast path
+// (await_ready() == true, e.g. an uncontended Mutex) from touching the
+// context at all.
+template <typename A>
+struct TraceAwaiter {
+  A awaitable;
+  uint64_t saved_span = 0;
+  bool suspended = false;
+
+  bool await_ready() { return awaitable.await_ready(); }
+
+  template <typename Promise>
+  auto await_suspend(std::coroutine_handle<Promise> h) {
+    saved_span = tracectx::current_span;
+    suspended = true;
+    return awaitable.await_suspend(h);
+  }
+
+  decltype(auto) await_resume() {
+    if (suspended) {
+      tracectx::current_span = saved_span;
+    }
+    return awaitable.await_resume();
+  }
+};
+
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   bool detached = false;
   bool started = false;
   std::exception_ptr exception;
+  // Ambient span at coroutine creation; restored when the body first runs.
+  uint64_t trace_span = tracectx::current_span;
+
+  // Restores the creator's trace context on first resumption (covers both
+  // Spawn-scheduled starts and symmetric-transfer starts from co_await).
+  struct InitialAwaiter {
+    PromiseBase* promise;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept { tracectx::current_span = promise->trace_span; }
+  };
+
+  template <typename A>
+  TraceAwaiter<A> await_transform(A&& awaitable) {
+    return TraceAwaiter<A>{std::forward<A>(awaitable)};
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
@@ -70,7 +116,7 @@ class [[nodiscard]] Task {
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
-    std::suspend_always initial_suspend() noexcept { return {}; }
+    InitialAwaiter initial_suspend() noexcept { return InitialAwaiter{this}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
     void return_value(T v) { value.emplace(std::move(v)); }
     void unhandled_exception() { this->exception = std::current_exception(); }
@@ -135,7 +181,7 @@ class [[nodiscard]] Task<void> {
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
-    std::suspend_always initial_suspend() noexcept { return {}; }
+    InitialAwaiter initial_suspend() noexcept { return InitialAwaiter{this}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
     void return_void() {}
     void unhandled_exception() { this->exception = std::current_exception(); }

@@ -1,8 +1,10 @@
 #include "src/snfs/client.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace snfs {
 
@@ -50,6 +52,10 @@ SnfsClient::SnfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address 
     }
     co_return base::OkStatus();
   };
+  // Attribute this mount's dirty-state transitions to the SNFS protocol on
+  // this host, so the trace checker can enforce single-writer caching.
+  backing.trace_name = "snfs";
+  backing.trace_machine = peer_.address().host;
   mount_id_ = cache_.RegisterMount(std::move(backing));
 }
 
@@ -122,9 +128,16 @@ sim::Task<base::Result<void>> SnfsClient::SendOpen(NodeRef node, bool write) {
     if (node->have_cached_data && !cache_valid) {
       cache_.InvalidateFile(mount_id_, node->fh.fileid);
       node->have_cached_data = false;
+      TRACE_INSTANT("snfs.invalidated", peer_.address().host,
+                    "file=" + std::to_string(node->fh.fileid) + " reason=version");
     }
     node->cached_version = rep->version;
     node->cache_enabled = rep->cache_enabled;
+    TRACE_INSTANT("snfs.open_granted", peer_.address().host,
+                  "file=" + std::to_string(node->fh.fileid) +
+                      " version=" + std::to_string(rep->version) +
+                      " write=" + (write ? "1" : "0") +
+                      " cache=" + (rep->cache_enabled ? "1" : "0"));
     if (!rep->cache_enabled) {
       // Write-shared: nobody caches. Any dirty blocks should already have
       // been called back, but be safe.
@@ -232,6 +245,10 @@ sim::Task<void> SnfsClient::DelayedCloseDaemon(uint64_t generation) {
     }
     std::sort(victims.begin(), victims.end(),
               [](const NodeRef& a, const NodeRef& b) { return a->fh.fileid < b->fh.fileid; });
+    if (!victims.empty()) {
+      TRACE_INSTANT("snfs.delayed_close_scan", peer_.address().host,
+                    "victims=" + std::to_string(victims.size()));
+    }
     for (const NodeRef& node : victims) {
       co_await FlushOwedCloses(node);
     }
@@ -242,6 +259,14 @@ sim::Task<void> SnfsClient::DelayedCloseDaemon(uint64_t generation) {
 
 sim::Task<proto::Reply> SnfsClient::HandleCallback(proto::CallbackReq req) {
   ++callbacks_served_;
+  trace::Span serve_span;
+  if (trace::Active() != nullptr) {
+    serve_span.Begin("snfs.callback_serve", peer_.address().host,
+                     "file=" + std::to_string(req.fh.fileid) +
+                         " wb=" + (req.writeback ? "1" : "0") +
+                         " inv=" + (req.invalidate ? "1" : "0") +
+                         " rel=" + (req.relinquish ? "1" : "0"));
+  }
   auto it = nodes_.find(req.fh.fileid);
   if (it == nodes_.end() || !(it->second->fh == req.fh)) {
     co_return proto::OkReply(proto::CallbackRep{});
@@ -256,6 +281,8 @@ sim::Task<proto::Reply> SnfsClient::HandleCallback(proto::CallbackReq req) {
     cache_.InvalidateFile(mount_id_, node->fh.fileid);
     node->have_cached_data = false;
     node->cache_enabled = false;
+    TRACE_INSTANT("snfs.invalidated", peer_.address().host,
+                  "file=" + std::to_string(node->fh.fileid) + " reason=callback");
   }
   // §6.2: "if a client with a delayed-close file receives a callback for
   // that file, the appropriate response is to close the file so that it can
@@ -346,6 +373,10 @@ sim::Task<void> SnfsClient::RunRecovery() {
       continue;
     }
     node->cached_version = rep->version;
+    TRACE_INSTANT("snfs.open_granted", peer_.address().host,
+                  "file=" + std::to_string(fileid) + " version=" + std::to_string(rep->version) +
+                      " write=" + (node->server_writes > 0 ? "1" : "0") +
+                      " cache=" + (rep->cache_enabled ? "1" : "0") + " reopen=1");
     if (!rep->cache_enabled) {
       if (has_dirty) {
         (void)co_await cache_.FlushFile(mount_id_, fileid);
@@ -353,6 +384,8 @@ sim::Task<void> SnfsClient::RunRecovery() {
       cache_.InvalidateFile(mount_id_, fileid);
       node->have_cached_data = false;
       node->cache_enabled = false;
+      TRACE_INSTANT("snfs.invalidated", peer_.address().host,
+                    "file=" + std::to_string(fileid) + " reason=reopen");
     }
   }
 }
@@ -427,6 +460,11 @@ sim::Task<base::Result<std::vector<uint8_t>>> SnfsClient::Read(vfs::GnodeRef gno
     node->attr = rep->attr;
     co_return std::move(rep->data);
   }
+  // Observation point for the stale-read invariant: a cached read may only
+  // see the version the server granted at open.
+  TRACE_INSTANT("snfs.read_observe", peer_.address().host,
+                "file=" + std::to_string(node->fh.fileid) +
+                    " version=" + std::to_string(node->cached_version));
   auto data = co_await cache_.Read(mount_id_, node->fh.fileid, offset, count, node->attr.size,
                                    /*read_ahead=*/true);
   if (data.ok() && !data->empty()) {

@@ -1,6 +1,9 @@
 #include "src/snfs/server.h"
 
+#include <string>
+
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace snfs {
 namespace {
@@ -64,12 +67,21 @@ sim::Task<void> SnfsServer::IssueCallback(proto::FileHandle fh,
   co_await callback_budget_.Acquire();
   uint64_t in_progress_key = (fh.fileid << 16) ^ static_cast<uint64_t>(action.host);
   callbacks_in_progress_.insert(in_progress_key);
+  trace::Span cb_span;
+  if (trace::Active() != nullptr) {
+    cb_span.Begin("snfs.callback", peer_.address().host,
+                  "file=" + std::to_string(fh.fileid) + " host=" + std::to_string(action.host) +
+                      " wb=" + (action.writeback ? "1" : "0") +
+                      " inv=" + (action.invalidate ? "1" : "0") +
+                      " rel=" + (action.relinquish ? "1" : "0"));
+  }
   proto::CallbackReq req;
   req.fh = fh;
   req.writeback = action.writeback;
   req.invalidate = action.invalidate;
   req.relinquish = action.relinquish;
   auto reply = co_await peer_.Call(net::Address{action.host}, req, params_.callback_call);
+  cb_span.End(std::string("ok=") + (reply.ok() && reply->status.ok() ? "1" : "0"));
   callbacks_in_progress_.erase(in_progress_key);
   callback_budget_.Release();
   if (!reply.ok() || !reply->status.ok()) {
@@ -136,6 +148,14 @@ sim::Task<proto::Reply> SnfsServer::HandleOpen(proto::OpenReq req, net::Address 
     simulator_.Spawn(ReclaimEntries());
   }
 
+  TRACE_INSTANT("snfs.version_grant", peer_.address().host,
+                "file=" + std::to_string(req.fh.fileid) +
+                    " version=" + std::to_string(outcome.version) +
+                    " prev=" + std::to_string(outcome.prev_version) +
+                    " host=" + std::to_string(from.host) +
+                    " cache=" + (outcome.cache_enabled ? "1" : "0") +
+                    " write=" + (req.write_mode ? "1" : "0"));
+
   proto::OpenRep rep;
   rep.cache_enabled = outcome.cache_enabled;
   rep.version = outcome.version;
@@ -175,6 +195,8 @@ sim::Task<void> SnfsServer::ReclaimEntries() {
   std::vector<StateTable::ReclaimPlan> plans = table_.PlanReclaim();
   for (const StateTable::ReclaimPlan& plan : plans) {
     ++reclaims_;
+    TRACE_INSTANT("snfs.reclaim", peer_.address().host,
+                  "file=" + std::to_string(plan.fh.fileid));
     sim::Mutex& lock = FileLock(plan.fh);
     co_await lock.Acquire();
     co_await IssueCallback(plan.fh, plan.callback);

@@ -1,6 +1,7 @@
 #include "src/testbed/machine.h"
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace testbed {
 
@@ -83,6 +84,7 @@ void ClientMachine::Start() {
 }
 
 void ClientMachine::Crash(net::Network& network) {
+  TRACE_INSTANT("machine.crash", address().host, "kind=client");
   network.SetHostUp(address(), false);
   peer_->Shutdown();
   for (snfs::SnfsClient* client : snfs_clients_) {
@@ -95,6 +97,7 @@ void ClientMachine::Crash(net::Network& network) {
 }
 
 void ClientMachine::Restart(net::Network& network) {
+  TRACE_INSTANT("machine.restart", address().host, "kind=client");
   network.SetHostUp(address(), true);
   Start();
 }
@@ -114,6 +117,7 @@ ServerMachine::ServerMachine(sim::Simulator& simulator, net::Network& network, s
 void ServerMachine::Start() { peer_->Start(); }
 
 void ServerMachine::Crash(net::Network& network) {
+  TRACE_INSTANT("machine.crash", address().host, "kind=server");
   network.SetHostUp(address(), false);
   peer_->Shutdown();
   if (snfs_server_ != nullptr) {
@@ -122,6 +126,7 @@ void ServerMachine::Crash(net::Network& network) {
 }
 
 void ServerMachine::Reboot(net::Network& network) {
+  TRACE_INSTANT("machine.restart", address().host, "kind=server");
   network.SetHostUp(address(), true);
   if (snfs_server_ != nullptr) {
     snfs_server_->Restart();

@@ -1,0 +1,124 @@
+#include "src/trace/checker.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace trace {
+namespace {
+
+uint64_t ParseU64(std::string_view s) {
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      break;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+struct FileKey {
+  int machine;
+  uint64_t file;
+  friend auto operator<=>(const FileKey&, const FileKey&) = default;
+};
+
+struct ExecKey {
+  int server;
+  uint64_t from;
+  uint64_t xid;
+  uint64_t gen;
+  friend auto operator<=>(const ExecKey&, const ExecKey&) = default;
+};
+
+}  // namespace
+
+bool IsIdempotentOp(std::string_view op) {
+  // Reads and attribute ops are trivially idempotent; write and setattr set
+  // absolute state (offset writes, absolute sizes); reopen re-asserts
+  // absolute per-client counts. open/close/callback mutate reference counts
+  // and create/remove/rename/mkdir/rmdir mutate the namespace — re-executing
+  // any of those is observable.
+  return op == "null" || op == "getattr" || op == "setattr" || op == "lookup" || op == "read" ||
+         op == "write" || op == "readdir" || op == "ping" || op == "reopen";
+}
+
+std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
+  std::vector<Violation> out;
+  // stale-read: (client machine, file) -> granted version.
+  std::map<FileKey, uint64_t> granted;
+  // concurrent-dirty: file -> set of dirty client machines.
+  std::map<uint64_t, std::set<int>> dirty;
+  // retransmit-once: executions per (server, client, xid, generation).
+  std::map<ExecKey, std::pair<int, std::string>> execs;
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.kind == EventKind::kInstant && e.name == "snfs.open_granted") {
+      FileKey key{e.machine, ParseU64(ArgValue(e.args, "file"))};
+      granted[key] = ParseU64(ArgValue(e.args, "version"));
+    } else if (e.kind == EventKind::kInstant && e.name == "snfs.read_observe") {
+      FileKey key{e.machine, ParseU64(ArgValue(e.args, "file"))};
+      uint64_t version = ParseU64(ArgValue(e.args, "version"));
+      auto it = granted.find(key);
+      if (it == granted.end()) {
+        out.push_back(Violation{"stale-read", i,
+                                "client m" + std::to_string(e.machine) +
+                                    " served a cached read of file " +
+                                    std::to_string(key.file) + " without an open grant"});
+      } else if (version < it->second) {
+        out.push_back(Violation{
+            "stale-read", i,
+            "client m" + std::to_string(e.machine) + " read version " + std::to_string(version) +
+                " of file " + std::to_string(key.file) + " but holds a grant for version " +
+                std::to_string(it->second)});
+      }
+    } else if (e.kind == EventKind::kInstant && e.name == "snfs.invalidated") {
+      granted.erase(FileKey{e.machine, ParseU64(ArgValue(e.args, "file"))});
+    } else if (e.kind == EventKind::kInstant && e.name == "cache.file_dirty" &&
+               ArgValue(e.args, "scope") == "snfs") {
+      uint64_t file = ParseU64(ArgValue(e.args, "file"));
+      std::set<int>& holders = dirty[file];
+      holders.insert(e.machine);
+      if (holders.size() > 1) {
+        std::string who;
+        for (int m : holders) {
+          who += (who.empty() ? "m" : ",m") + std::to_string(m);
+        }
+        out.push_back(Violation{"concurrent-dirty", i,
+                                "file " + std::to_string(file) +
+                                    " is write-dirty on two clients concurrently (" + who + ")"});
+      }
+    } else if (e.kind == EventKind::kInstant && e.name == "cache.file_clean" &&
+               ArgValue(e.args, "scope") == "snfs") {
+      dirty[ParseU64(ArgValue(e.args, "file"))].erase(e.machine);
+    } else if (e.kind == EventKind::kInstant && e.name == "machine.crash") {
+      // Cached state — grants and dirty blocks — died with the kernel.
+      for (auto it = granted.begin(); it != granted.end();) {
+        it = it->first.machine == e.machine ? granted.erase(it) : std::next(it);
+      }
+      for (auto& [file, holders] : dirty) {
+        holders.erase(e.machine);
+      }
+    } else if (e.kind == EventKind::kSpanBegin && e.name == "rpc.handle") {
+      ExecKey key{e.machine, ParseU64(ArgValue(e.args, "from")),
+                  ParseU64(ArgValue(e.args, "xid")), ParseU64(ArgValue(e.args, "gen"))};
+      std::string op(ArgValue(e.args, "op"));
+      auto [it, inserted] = execs.emplace(key, std::make_pair(0, op));
+      ++it->second.first;
+      if (it->second.first > 1 && !IsIdempotentOp(it->second.second)) {
+        out.push_back(Violation{
+            "retransmit-once", i,
+            "server m" + std::to_string(key.server) + " executed non-idempotent op '" +
+                it->second.second + "' " + std::to_string(it->second.first) +
+                " times for xid " + std::to_string(key.xid) + " from host " +
+                std::to_string(key.from) + " within generation " + std::to_string(key.gen)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trace

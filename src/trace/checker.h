@@ -1,0 +1,55 @@
+// trace::Checker — replays a recorded event trace and validates the
+// cache-consistency invariants the paper's protocol is supposed to provide,
+// *per event* rather than only at quiescence:
+//
+//  stale-read        A cached read on a client never observes data older
+//                    than the version established for that client by the
+//                    serialization of opens/closes/callbacks: every
+//                    `snfs.read_observe` must carry a version >= the version
+//                    of the client's most recent `snfs.open_granted` for the
+//                    file, and must not occur at all without a grant.
+//  concurrent-dirty  No two clients hold write-dirty cached blocks of the
+//                    same file at the same time (`cache.file_dirty` /
+//                    `cache.file_clean` transitions with scope=snfs). A
+//                    client crash (`machine.crash`) clears its dirty state —
+//                    the blocks died with the kernel.
+//  retransmit-once   A retransmitted RPC is either absorbed by the server's
+//                    duplicate-request cache or idempotent: within one
+//                    server generation, a non-idempotent operation must not
+//                    produce two `rpc.handle` executions for the same
+//                    (client, xid). Re-execution across generations (the
+//                    dup cache died with the server) is legal.
+//
+// The checker is pure: it consumes the event vector and produces violations;
+// it never mutates simulator state, so it can run after the simulation or
+// over a hand-built fixture trace.
+#ifndef SRC_TRACE_CHECKER_H_
+#define SRC_TRACE_CHECKER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace trace {
+
+struct Violation {
+  std::string rule;    // "stale-read", "concurrent-dirty", "retransmit-once"
+  size_t event_index;  // index into the checked event vector
+  std::string message;
+};
+
+// True for operations whose re-execution is observably equivalent to a
+// single execution (reads, attribute fetches, absolute-state writes).
+bool IsIdempotentOp(std::string_view op);
+
+std::vector<Violation> CheckTrace(const std::vector<Event>& events);
+
+inline std::vector<Violation> CheckTrace(const Recorder& recorder) {
+  return CheckTrace(recorder.events());
+}
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_CHECKER_H_

@@ -18,9 +18,34 @@
 
 #include "src/sim/random.h"
 #include "src/sim/sync.h"
+#include "src/trace/checker.h"
+#include "src/trace/trace.h"
 #include "tests/testbed_util.h"
 
 namespace {
+
+// Records the whole run and, on Check(), asserts the causal-trace checker
+// agrees with the data oracle: no stale reads, no concurrent dirty files,
+// no double-executed non-idempotent RPCs.
+class ScopedTraceCheck {
+ public:
+  explicit ScopedTraceCheck(sim::Simulator& simulator) : recorder_(simulator) {
+    trace::SetActive(&recorder_);
+  }
+  ~ScopedTraceCheck() { trace::SetActive(nullptr); }
+
+  void Check() {
+    trace::SetActive(nullptr);
+    EXPECT_GT(recorder_.events().size(), 0u);
+    std::vector<trace::Violation> violations = trace::CheckTrace(recorder_);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " trace violations; first: [" << violations.front().rule << "] "
+        << violations.front().message;
+  }
+
+ private:
+  trace::Recorder recorder_;
+};
 
 using testbed::ClientMachineParams;
 using testbed::ServerProtocol;
@@ -84,6 +109,7 @@ class ConsistencySweep : public ::testing::TestWithParam<ConsistencyParam> {};
 TEST_P(ConsistencySweep, LockSerializedAccessesMatchOracleUnderSnfs) {
   const ConsistencyParam param = GetParam();
   World w(param.protocol, /*num_clients=*/3);
+  ScopedTraceCheck trace_check(w.simulator);
   for (int c = 0; c < 3; ++c) {
     if (param.protocol == ServerProtocol::kSnfs) {
       w.client(c).MountSnfs("/data", w.server->address(), w.server->root());
@@ -110,6 +136,10 @@ TEST_P(ConsistencySweep, LockSerializedAccessesMatchOracleUnderSnfs) {
   }
   // For NFS we only record; staleness is legal there. (Close-to-open plus
   // sequential sharing makes many seeds clean, which is fine.)
+
+  // The trace checker judges both protocols: its SNFS invariants only fire
+  // on SNFS events, and retransmit-once must hold for NFS too.
+  trace_check.Check();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -172,6 +202,7 @@ sim::Task<void> WriteSharingProbe(World& w, bool expect_consistent, int* stale_r
 
 TEST(WriteSharing, SnfsReadsAreNeverStale) {
   World w(ServerProtocol::kSnfs, 2);
+  ScopedTraceCheck trace_check(w.simulator);
   w.client(0).MountSnfs("/data", w.server->address(), w.server->root());
   w.client(1).MountSnfs("/data", w.server->address(), w.server->root());
   int stale = 0;
@@ -179,6 +210,7 @@ TEST(WriteSharing, SnfsReadsAreNeverStale) {
   w.simulator.Spawn(WriteSharingProbe(w, /*expect_consistent=*/true, &stale, &finished));
   w.simulator.Run();
   EXPECT_TRUE(finished);
+  trace_check.Check();
 }
 
 TEST(WriteSharing, NfsReadsGoStaleWithinProbeWindow) {

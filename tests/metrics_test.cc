@@ -1,0 +1,135 @@
+// Tests for the metrics primitives: timestamp-aligned correlation edge
+// cases, the OpCounters iteration-order guarantee, and the nearest-rank
+// percentile histogram the bench latency tables are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/metrics/op_counters.h"
+#include "src/metrics/time_series.h"
+
+namespace metrics {
+namespace {
+
+TimeSeries Series(std::initializer_list<std::pair<sim::Time, double>> samples) {
+  TimeSeries s;
+  for (const auto& [at, value] : samples) {
+    s.Push(at, value);
+  }
+  return s;
+}
+
+TEST(TimeSeriesTest, PerfectPositiveAndNegativeCorrelation) {
+  TimeSeries a = Series({{1, 1.0}, {2, 2.0}, {3, 3.0}, {4, 4.0}});
+  TimeSeries b = Series({{1, 10.0}, {2, 20.0}, {3, 30.0}, {4, 40.0}});
+  TimeSeries c = Series({{1, 4.0}, {2, 3.0}, {3, 2.0}, {4, 1.0}});
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(a, c), -1.0);
+}
+
+TEST(TimeSeriesTest, SamplesArePairedByTimestampNotIndex) {
+  // b is missing the t=2 window (machine down for one sample). At the
+  // timestamps both series cover, b == 2*a exactly, so the correlation must
+  // be 1.0. Index pairing would shift every later pair one slot and land on
+  // a correlation well below 1.
+  TimeSeries a = Series({{1, 1.0}, {2, 9.0}, {3, 2.0}, {4, 5.0}});
+  TimeSeries b = Series({{1, 2.0}, {3, 4.0}, {4, 10.0}});
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(a, b), 1.0);
+}
+
+TEST(TimeSeriesTest, LengthMismatchUsesCommonPrefixOfAlignedTimes) {
+  // A longer series only contributes the samples whose timestamps the
+  // shorter one also has.
+  TimeSeries a = Series({{1, 1.0}, {2, 2.0}, {3, 3.0}, {4, 4.0}, {5, 100.0}, {6, -7.0}});
+  TimeSeries b = Series({{1, 3.0}, {2, 6.0}, {3, 9.0}, {4, 12.0}});
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(a, b), 1.0);
+}
+
+TEST(TimeSeriesTest, FewerThanTwoAlignedPointsIsZero) {
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(TimeSeries{}, TimeSeries{}), 0.0);
+  TimeSeries one_a = Series({{1, 5.0}});
+  TimeSeries one_b = Series({{1, 7.0}});
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(one_a, one_b), 0.0);
+  // Disjoint timestamps: nothing aligns even though both have samples.
+  TimeSeries odd = Series({{1, 1.0}, {3, 2.0}, {5, 3.0}});
+  TimeSeries even = Series({{2, 1.0}, {4, 2.0}, {6, 3.0}});
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(odd, even), 0.0);
+}
+
+TEST(TimeSeriesTest, ZeroVarianceIsZeroNotNan) {
+  TimeSeries flat = Series({{1, 5.0}, {2, 5.0}, {3, 5.0}});
+  TimeSeries rising = Series({{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  double r = TimeSeries::Correlation(flat, rising);
+  EXPECT_DOUBLE_EQ(r, 0.0);
+  EXPECT_FALSE(std::isnan(r));
+  EXPECT_DOUBLE_EQ(TimeSeries::Correlation(flat, flat), 0.0);
+}
+
+TEST(OpCountersTest, ForEachNonZeroVisitsInDeclarationOrder) {
+  OpCounters counters;
+  // Added deliberately out of enum order.
+  counters.Add(proto::OpKind::kClose, 2);
+  counters.Add(proto::OpKind::kLookup, 7);
+  counters.Add(proto::OpKind::kWrite, 3);
+  counters.Add(proto::OpKind::kGetAttr, 1);
+
+  std::vector<std::pair<proto::OpKind, uint64_t>> seen;
+  counters.ForEachNonZero([&](proto::OpKind kind, uint64_t count) {
+    seen.emplace_back(kind, count);
+  });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::pair{proto::OpKind::kGetAttr, uint64_t{1}}));
+  EXPECT_EQ(seen[1], (std::pair{proto::OpKind::kLookup, uint64_t{7}}));
+  EXPECT_EQ(seen[2], (std::pair{proto::OpKind::kWrite, uint64_t{3}}));
+  EXPECT_EQ(seen[3], (std::pair{proto::OpKind::kClose, uint64_t{2}}));
+}
+
+TEST(OpCountersTest, ForEachNonZeroSkipsZeroAndEmpty) {
+  OpCounters counters;
+  int visits = 0;
+  counters.ForEachNonZero([&](proto::OpKind, uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  counters.Add(proto::OpKind::kRead);
+  counters.ForEachNonZero([&](proto::OpKind kind, uint64_t count) {
+    ++visits;
+    EXPECT_EQ(kind, proto::OpKind::kRead);
+    EXPECT_EQ(count, 1u);
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(HistogramTest, NearestRankPercentiles) {
+  Histogram h;
+  for (int i = 100; i >= 1; --i) {  // insertion order must not matter
+    h.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+}
+
+TEST(HistogramTest, EmptyAndSingleValue) {
+  Histogram empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+
+  Histogram one;
+  one.Add(42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(1), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(99), 42.0);
+}
+
+}  // namespace
+}  // namespace metrics

@@ -5,6 +5,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "src/net/network.h"
 #include "src/proto/messages.h"
@@ -12,6 +14,7 @@
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
+#include "src/trace/trace.h"
 
 namespace rpc {
 namespace {
@@ -335,6 +338,77 @@ TEST(RpcTest, ShutdownClearsPendingCallsImmediately) {
     EXPECT_EQ(rig.client.pending_calls(), 0u);
   });
   rig.simulator.RunUntil(sim::Sec(1));
+}
+
+TEST(RpcTest, RetriedCallTracesOneLogicalSpanWithAttemptChildren) {
+  // A handler slower than the client's timeout: attempt 1 times out, the
+  // retransmit lands while the original execution is still in progress (a
+  // dup-cache hit), and the eventual reply completes the call on attempt 2.
+  // The trace must show ONE logical rpc.call span with two rpc.attempt
+  // children, one rpc.handle execution, and the dup-cache hit as an instant
+  // attributed to the second attempt.
+  Rig rig;
+  trace::Recorder recorder(rig.simulator);
+  trace::SetActive(&recorder);
+
+  // lint: coro-lambda-ok (handler and captures share the test scope)
+  rig.server.set_handler([&rig](const proto::Request&, net::Address) -> sim::Task<proto::Reply> {
+    co_await sim::Sleep(rig.simulator, sim::Msec(200));
+    co_return proto::OkReply(proto::NullRep{});
+  });
+
+  bool done = false;
+  rig.simulator.Spawn([](Rig& rig, bool& done) -> sim::Task<void> {
+    CallOptions opts;
+    opts.timeout = sim::Msec(150);
+    opts.max_attempts = 3;
+    auto reply =
+        co_await rig.client.Call(rig.server.address(), proto::Request(proto::NullReq{}), opts);
+    EXPECT_TRUE(reply.ok());
+    done = true;
+  }(rig, done));
+  rig.simulator.Run();
+  trace::SetActive(nullptr);
+  EXPECT_TRUE(done);
+
+  uint64_t call_span = 0;
+  std::string call_end_args;
+  std::vector<uint64_t> attempt_spans;
+  std::vector<uint64_t> attempt_parents;
+  uint64_t handle_begins = 0;
+  uint64_t dup_hit_span = 0;
+  std::string dup_hit_args;
+  uint64_t retransmits = 0;
+  for (const trace::Event& e : recorder.events()) {
+    if (e.kind == trace::EventKind::kSpanBegin && e.name == "rpc.call") {
+      EXPECT_EQ(call_span, 0u) << "more than one logical rpc.call span";
+      call_span = e.span;
+    } else if (e.kind == trace::EventKind::kSpanEnd && e.span == call_span && call_span != 0) {
+      call_end_args = e.args;
+    } else if (e.kind == trace::EventKind::kSpanBegin && e.name == "rpc.attempt") {
+      attempt_spans.push_back(e.span);
+      attempt_parents.push_back(e.parent);
+    } else if (e.kind == trace::EventKind::kSpanBegin && e.name == "rpc.handle") {
+      ++handle_begins;
+    } else if (e.name == "rpc.dup_hit") {
+      dup_hit_span = e.span;
+      dup_hit_args = e.args;
+    } else if (e.name == "rpc.retransmit") {
+      ++retransmits;
+    }
+  }
+  ASSERT_NE(call_span, 0u);
+  EXPECT_EQ(trace::ArgValue(call_end_args, "status"), "done");
+  EXPECT_EQ(trace::ArgValue(call_end_args, "attempts"), "2");
+  ASSERT_EQ(attempt_spans.size(), 2u);
+  EXPECT_EQ(attempt_parents[0], call_span);
+  EXPECT_EQ(attempt_parents[1], call_span);
+  EXPECT_EQ(retransmits, 1u);
+  // The handler ran once; the retransmit was absorbed by the dup cache while
+  // the original was still executing, attributed to the retransmit's attempt.
+  EXPECT_EQ(handle_begins, 1u);
+  EXPECT_EQ(dup_hit_span, attempt_spans[1]);
+  EXPECT_EQ(trace::ArgValue(dup_hit_args, "done"), "0");
 }
 
 TEST(RpcTest, DupCacheEvictionIsBoundedWithInProgressEntries) {

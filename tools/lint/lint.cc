@@ -348,7 +348,7 @@ void Linter::CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out
   static const std::set<std::string> kKnownRules = {
       "coro-ref",       "coro-lambda",     "task-dropped",      "nondet",
       "ordered",        "unused-status",   "await-stale-ref",   "await-cached-size",
-      "suppression-audit"};
+      "trace-span-balance", "suppression-audit"};
   for (const SuppressionNote& note : fs.lex.notes) {
     // Auditing audit suppressions would make `suppression-audit-ok`
     // self-justifying; leave them alone.
@@ -403,6 +403,7 @@ void Linter::LintFile(const FileState& fs, std::vector<Diagnostic>& out) {
     CheckOrderedIteration(fs, unordered, out);
   }
   CheckStatements(fs, out);
+  CheckTraceSpanBalance(fs, out);
   CheckFlow(fs, out);
 }
 
@@ -738,6 +739,73 @@ void Linter::CheckStatements(const FileState& fs, std::vector<Diagnostic>& out) 
                task_it == task_fns_.end()) {
       Emit(fs, t[j].line, "unused-status",
            "Status/Result from `" + callee + "(...)` is dropped; handle it or cast to (void)",
+           out);
+    }
+  }
+}
+
+// --- rule: trace-span-balance ------------------------------------------------
+
+// Manual spans (TRACE_SPAN_BEGIN / TRACE_SPAN_END) have no destructor to end
+// them: an exit taken while the span is open leaks it, and every trace the
+// checker or the Chrome exporter sees afterwards carries a span that never
+// closes. The walk is textual and per-begin: from each TRACE_SPAN_BEGIN it
+// scans forward, flagging a `return` / `co_return` seen before the first
+// `TRACE_SPAN_END(var, ...)`, or the begin itself when its enclosing block
+// closes without any end. Stopping at the first end keeps the
+// end-before-each-exit idiom clean.
+void Linter::CheckTraceSpanBalance(const FileState& fs, std::vector<Diagnostic>& out) {
+  const std::vector<Token>& t = fs.lex.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i, "TRACE_SPAN_BEGIN") || !IsPunct(t, i + 1, "(") || !IsIdent(t, i + 2)) {
+      continue;
+    }
+    const std::string var = t[i + 2].text;
+    const int begin_line = t[i].line;
+    size_t after = MatchParens(t, i + 1);
+    if (after == kNpos) {
+      continue;
+    }
+    // Brace depth relative to the block the begin lives in; once it drops
+    // below zero `var` is out of scope and no end can follow.
+    int depth = 0;
+    bool ended = false;
+    bool reported = false;
+    size_t budget = kScanBudget * 16;
+    for (size_t j = after; j < t.size() && budget > 0; ++j, --budget) {
+      const Token& tok = t[j];
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == "{") {
+          ++depth;
+        } else if (tok.text == "}" && --depth < 0) {
+          break;  // enclosing block closed
+        }
+        continue;
+      }
+      if (tok.kind != TokKind::kIdent) {
+        continue;
+      }
+      if (tok.text == "TRACE_SPAN_END" && IsPunct(t, j + 1, "(") &&
+          IsIdent(t, j + 2, var.c_str())) {
+        ended = true;
+        break;
+      }
+      if (tok.text == "return" || tok.text == "co_return") {
+        Emit(fs, tok.line, "trace-span-balance",
+             "`" + tok.text + "` exits while span `" + var + "` (TRACE_SPAN_BEGIN, line " +
+                 std::to_string(begin_line) +
+                 ") is still open; call TRACE_SPAN_END on this path or use the trace::Span "
+                 "RAII guard",
+             out);
+        reported = true;
+        break;
+      }
+    }
+    if (!ended && !reported) {
+      Emit(fs, begin_line, "trace-span-balance",
+           "TRACE_SPAN_BEGIN(" + var +
+               ", ...) never reaches a matching TRACE_SPAN_END in its enclosing block; end the "
+               "span or use the trace::Span RAII guard",
            out);
     }
   }

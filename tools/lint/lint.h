@@ -41,6 +41,14 @@
 //  unused-status A base::Status / base::Result return value (including the
 //                payload of `co_await SomeTask(...)`) dropped without an
 //                explicit (void) cast.
+//  trace-span-balance
+//                A manual trace span (TRACE_SPAN_BEGIN) that can leak: a
+//                `return` / `co_return` is reached while the span is still
+//                open, or the begin's enclosing block closes without any
+//                matching TRACE_SPAN_END. The walk is textual: it stops at
+//                the first `TRACE_SPAN_END(var, ...)`, so ending the span
+//                separately before each early exit is clean. Prefer the
+//                trace::Span RAII guard wherever a block scope fits.
 //
 // Flow-sensitive rules (see flow.cc). These walk each coroutine body as a
 // statement tree with `co_await`/`co_yield` marked as suspension points and
@@ -141,6 +149,7 @@ class Linter {
   void CheckOrderedIteration(const FileState& fs, const std::set<std::string>& unordered,
                              std::vector<Diagnostic>& out);
   void CheckStatements(const FileState& fs, std::vector<Diagnostic>& out);
+  void CheckTraceSpanBalance(const FileState& fs, std::vector<Diagnostic>& out);
   // Flow-sensitive pass: await-stale-ref and await-cached-size (flow.cc).
   void CheckFlow(const FileState& fs, std::vector<Diagnostic>& out);
   // Post-pass over every file's suppression notes (needs the used_ set

@@ -140,6 +140,22 @@ TEST(SnfslintTest, AwaitCachedSizeQuiet) {
   EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
 }
 
+TEST(SnfslintTest, TraceSpanBalanceFires) {
+  // A begin with no end, a co_return past an open span, and an early return
+  // before the first end.
+  std::vector<std::string> rules =
+      RulesFiredOn("trace_span_balance_bad.cc", "trace_span_balance_bad.cc");
+  EXPECT_EQ(CountRule(rules, "trace-span-balance"), 3) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, TraceSpanBalanceQuiet) {
+  // End-before-each-exit, per-iteration loop spans, the RAII guard, and a
+  // suppressed handoff are all clean (and the suppression counts as used).
+  std::vector<std::string> rules =
+      RulesFiredOn("trace_span_balance_good.cc", "trace_span_balance_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
 TEST(SnfslintTest, SuppressionAuditFires) {
   // One suppression that absorbs nothing and one naming an unknown rule.
   std::vector<std::string> rules =

@@ -1,0 +1,33 @@
+// Fixture for the trace-span-balance rule: manual spans that leak on some
+// path. Three diagnostics expected.
+#include "src/trace/trace.h"
+
+namespace demo {
+
+// 1. No TRACE_SPAN_END anywhere in the enclosing block.
+void NeverEnded(int machine) {
+  TRACE_SPAN_BEGIN(span, "demo.never", machine, "");
+  DoWork();
+}
+
+// 2. co_return on the error path leaks the span (the end only covers the
+// fall-through path).
+sim::Task<void> EarlyCoReturn(int machine, bool fail) {
+  TRACE_SPAN_BEGIN(span, "demo.early", machine, "");
+  if (fail) {
+    co_return;
+  }
+  TRACE_SPAN_END(span, "status=done");
+}
+
+// 3. A plain return before the first end.
+int EarlyReturn(int machine, int v) {
+  TRACE_SPAN_BEGIN(span, "demo.ret", machine, "");
+  if (v < 0) {
+    return -1;
+  }
+  TRACE_SPAN_END(span, "");
+  return v;
+}
+
+}  // namespace demo

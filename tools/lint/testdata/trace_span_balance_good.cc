@@ -1,0 +1,42 @@
+// Fixture for the trace-span-balance rule: balanced manual spans, the RAII
+// guard, and a suppressed deliberate handoff all stay quiet.
+#include "src/trace/trace.h"
+
+namespace demo {
+
+// Ending the span before each early exit is the sanctioned manual idiom.
+sim::Task<void> EndedOnEveryPath(int machine, bool fail) {
+  TRACE_SPAN_BEGIN(span, "demo.ok", machine, "");
+  if (fail) {
+    TRACE_SPAN_END(span, "status=error");
+    co_return;
+  }
+  co_await DoWork();
+  TRACE_SPAN_END(span, "status=done");
+}
+
+// The macro's stated use case: one span per iteration of a daemon loop.
+sim::Task<void> DaemonLoop(int machine, bool stop) {
+  while (!stop) {
+    TRACE_SPAN_BEGIN(iter, "demo.iter", machine, "");
+    co_await Tick();
+    TRACE_SPAN_END(iter, "");
+  }
+}
+
+// The RAII guard needs no manual end; the rule only watches the macros.
+void RaiiGuard(int machine) {
+  trace::Span span;
+  span.Begin("demo.raii", machine);
+  DoWork();
+}
+
+// A span deliberately left open (the peer ends it later) is suppressed on
+// the begin line — and the suppression absorbs a live diagnostic, so the
+// suppression-audit rule stays quiet too.
+void HandoffBegin(int machine, uint64_t* out) {
+  TRACE_SPAN_BEGIN(span, "demo.handoff", machine, "");  // lint: trace-span-balance-ok
+  *out = span;
+}
+
+}  // namespace demo
