@@ -28,6 +28,27 @@ echo "== trace checker: one fault-sweep seed with causal-trace validation =="
 # retransmit-once checker over the trace; any violation aborts the cell.
 ./build/bench/bench_fault_sweep --trace-check --seeds=1 >/dev/null
 
+echo "== simperf smoke: simulator hot path still runs all four loads =="
+./build/bench/bench_simperf --smoke >/dev/null
+
+echo "== calibrated benches: byte-identical to pinned baselines =="
+# The event-queue rewrite (DESIGN.md §9) must never move a calibrated
+# number: deterministic bench output — elapsed times, RPC matrices, trace
+# checksums — is diffed against pre-rewrite goldens. The final "wrote
+# <path>" stdout line echoes the --json argument and is excluded.
+baseline_tmp=$(mktemp -d)
+trap 'rm -rf "$baseline_tmp"' EXIT
+./build/bench/bench_andrew --json="$baseline_tmp/andrew.json" \
+  > "$baseline_tmp/andrew_stdout.txt"
+./build/bench/bench_sort --json="$baseline_tmp/sort.json" \
+  > "$baseline_tmp/sort_stdout.txt"
+diff bench/baselines/BENCH_andrew.json "$baseline_tmp/andrew.json"
+diff bench/baselines/BENCH_sort.json "$baseline_tmp/sort.json"
+diff <(grep -v '^wrote ' bench/baselines/bench_andrew_stdout.txt) \
+     <(grep -v '^wrote ' "$baseline_tmp/andrew_stdout.txt")
+diff <(grep -v '^wrote ' bench/baselines/bench_sort_stdout.txt) \
+     <(grep -v '^wrote ' "$baseline_tmp/sort_stdout.txt")
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy: generic bug patterns (gating) =="
   mapfile -t tidy_sources < <(find src -name '*.cc' | sort)

@@ -26,6 +26,7 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 void SetLogNowHook(NowHook hook) { g_now_hook = hook; }
+NowHook GetLogNowHook() { return g_now_hook; }
 
 void LogVprintf(LogLevel level, const char* tag, const char* fmt, va_list ap) {
   int64_t now_us = g_now_hook != nullptr ? g_now_hook() : -1;

@@ -26,6 +26,9 @@ LogLevel GetLogLevel();
 // (microseconds). Returns -1 when no simulator is running.
 using NowHook = int64_t (*)();
 void SetLogNowHook(NowHook hook);
+// Null when no hook is installed (i.e. no simulator is live); lets tests
+// verify the hook lifecycle across interleaved simulator lifetimes.
+NowHook GetLogNowHook();
 
 // printf-style. Prefer the LOG_* macros below, which skip argument
 // evaluation when the level is disabled.

@@ -71,28 +71,50 @@ void Network::Send(Packet packet) {
   Deliver(std::move(packet), delay);
 }
 
+Network::PacketSlot* Network::AcquireSlot() {
+  if (free_slots_ != nullptr) {
+    PacketSlot* slot = free_slots_;
+    free_slots_ = slot->next;
+    return slot;
+  }
+  slot_arena_.push_back(std::make_unique<PacketSlot>());
+  return slot_arena_.back().get();
+}
+
+void Network::ReleaseSlot(PacketSlot* slot) {
+  slot->next = free_slots_;
+  free_slots_ = slot;
+}
+
 void Network::Deliver(Packet packet, sim::Duration delay) {
-  int dst = packet.dst.host;
-  // Capture the sender's ambient span: the delivery lambda runs from the
-  // event loop (ambient reset to 0), so receive-side instants must be
-  // attributed explicitly to stay causally linked to the send.
-  uint64_t send_span = sim::tracectx::current_span;
-  simulator_.Schedule(delay, [this, dst, send_span, p = std::move(packet)]() mutable {
-    // Re-check liveness at delivery time: the receiver may have crashed
-    // while the packet was in flight.
-    if (!hosts_[dst].up) {
-      ++packets_dropped_;
-      if (trace::Recorder* recorder = trace::Active()) {
-        recorder->InstantInSpan(send_span, "net.drop", dst, "reason=down");
-      }
-      return;
-    }
+  PacketSlot* slot = AcquireSlot();
+  slot->packet = std::move(packet);
+  // Capture the sender's ambient span: delivery runs from the event loop
+  // (ambient reset to 0), so receive-side instants must be attributed
+  // explicitly to stay causally linked to the send.
+  slot->send_span = sim::tracectx::current_span;
+  simulator_.Schedule(delay, [this, slot] { DeliverSlot(slot); });
+}
+
+void Network::DeliverSlot(PacketSlot* slot) {
+  int dst = slot->packet.dst.host;
+  uint64_t send_span = slot->send_span;
+  // Re-check liveness at delivery time: the receiver may have crashed while
+  // the packet was in flight.
+  if (!hosts_[dst].up) {
+    ReleaseSlot(slot);
+    ++packets_dropped_;
     if (trace::Recorder* recorder = trace::Active()) {
-      recorder->InstantInSpan(send_span, "net.recv", dst,
-                              "src=" + std::to_string(p.src.host));
+      recorder->InstantInSpan(send_span, "net.drop", dst, "reason=down");
     }
-    hosts_[dst].rx->Send(std::move(p));
-  });
+    return;
+  }
+  Packet packet = std::move(slot->packet);
+  ReleaseSlot(slot);
+  if (trace::Recorder* recorder = trace::Active()) {
+    recorder->InstantInSpan(send_span, "net.recv", dst, "src=" + std::to_string(packet.src.host));
+  }
+  hosts_[dst].rx->Send(std::move(packet));
 }
 
 void Network::SetHostUp(Address address, bool up) {

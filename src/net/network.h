@@ -89,13 +89,28 @@ class Network {
     bool up = true;
   };
 
+  // In-flight packet state lives in pooled slots so the delivery closure
+  // captures only {this, slot} — small enough for std::function's inline
+  // buffer, i.e. no heap allocation per packet in flight. Slots are owned by
+  // the arena and recycled through an intrusive free list at delivery.
+  struct PacketSlot {
+    Packet packet;
+    uint64_t send_span = 0;
+    PacketSlot* next = nullptr;
+  };
+
+  PacketSlot* AcquireSlot();
+  void ReleaseSlot(PacketSlot* slot);
   void Deliver(Packet packet, sim::Duration delay);
+  void DeliverSlot(PacketSlot* slot);
 
   sim::Simulator& simulator_;
   NetworkParams params_;
   sim::Rng rng_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<Host> hosts_;
+  std::vector<std::unique_ptr<PacketSlot>> slot_arena_;
+  PacketSlot* free_slots_ = nullptr;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t bytes_sent_ = 0;

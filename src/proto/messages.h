@@ -260,6 +260,41 @@ struct Envelope {
   uint64_t trace_span = 0;
   Request request;  // valid when !is_reply
   Reply reply;      // valid when is_reply
+
+  // The transport moves envelopes end to end; the only legitimate copy is
+  // the fault injector duplicating an in-flight packet. The copy operations
+  // count themselves so a guard test (network_test.cc) can pin that
+  // invariant: accidental copies of write payloads are a real simulator
+  // slowdown and this keeps them from creeping back in. Moves stay
+  // defaulted (and therefore free of bookkeeping).
+  Envelope() = default;
+  Envelope(Envelope&&) noexcept = default;
+  Envelope& operator=(Envelope&&) noexcept = default;
+  Envelope(const Envelope& other)
+      : xid(other.xid),
+        is_reply(other.is_reply),
+        trace_span(other.trace_span),
+        request(other.request),
+        reply(other.reply) {
+    ++copies_;
+  }
+  Envelope& operator=(const Envelope& other) {
+    if (this != &other) {
+      xid = other.xid;
+      is_reply = other.is_reply;
+      trace_span = other.trace_span;
+      request = other.request;
+      reply = other.reply;
+      ++copies_;
+    }
+    return *this;
+  }
+
+  static uint64_t copy_count() { return copies_; }
+  static void reset_copy_count() { copies_ = 0; }
+
+ private:
+  static inline uint64_t copies_ = 0;
 };
 
 // Approximate on-the-wire bytes (RPC/UDP/IP headers plus payload); drives

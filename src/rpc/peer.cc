@@ -244,7 +244,10 @@ sim::Task<void> Peer::Worker(uint64_t generation) {
     proto::Reply reply;
     if (handler_) {
       server_ops_.Add(proto::KindOf(incoming->request));
-      reply = co_await handler_(incoming->request, incoming->from);
+      // The request is moved into the handler — it arrived by value over the
+      // (simulated) wire and nothing else needs it; see the WorkerEvent note
+      // about what the kAfterHandler hook may observe.
+      reply = co_await handler_(std::move(incoming->request), incoming->from);
     } else {
       reply = proto::ErrorReply(base::ErrNotSupported());
     }

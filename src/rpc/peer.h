@@ -59,6 +59,11 @@ struct PeerOptions {
 // harness to script "crash mid-RPC-handler": a kBeforeHandler hook can
 // schedule (or synchronously trigger) a crash that lands while the handler
 // coroutine is still running.
+//
+// `request` is valid to inspect at kBeforeHandler. At kAfterHandler the
+// worker has already moved the request into the handler, so the pointee is
+// in a moved-from (valid but unspecified) state; hooks that need request
+// contents must capture them at kBeforeHandler.
 struct WorkerEvent {
   enum class Phase { kBeforeHandler, kAfterHandler };
   Phase phase;

@@ -1,28 +1,230 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/base/log.h"
+#include "src/sim/trace_ctx.h"
 
 namespace sim {
 namespace {
 
 // The most recently running simulator, exposed to the logger so log lines
 // carry virtual timestamps. Single-threaded by construction.
+//
+// Lifecycle: simulators can nest and interleave within one test binary (a
+// fixture's rig plus a scratch simulator, a sweep running cells back to
+// back), so a plain set-on-construct/clear-on-destruct pair would leave the
+// logger reading virtual time from a destroyed instance. A stack of live
+// simulators keeps the hook valid under any construction/destruction order:
+// destroying the current simulator falls back to the most recently
+// constructed one still alive; destroying the last one uninstalls the hook.
 Simulator* g_current = nullptr;
+
+std::vector<Simulator*>& LiveSimulators() {
+  static std::vector<Simulator*> live;
+  return live;
+}
 
 int64_t LogNow() { return g_current != nullptr ? g_current->Now() : -1; }
 
+// Far-heap order: min (at, seq) at the front.
+struct FarLater {
+  bool operator()(const auto* a, const auto* b) const {
+    if (a->at != b->at) {
+      return a->at > b->at;
+    }
+    return a->seq > b->seq;
+  }
+};
+
 }  // namespace
 
-Simulator::Simulator() {
+Simulator::Simulator() : wheel_(std::make_unique<Bucket[]>(kWheelSpan)) {
+  LiveSimulators().push_back(this);
   g_current = this;
   base::SetLogNowHook(&LogNow);
 }
 
 Simulator::~Simulator() {
+  std::vector<Simulator*>& live = LiveSimulators();
+  live.erase(std::remove(live.begin(), live.end(), this), live.end());
   if (g_current == this) {
-    g_current = nullptr;
+    g_current = live.empty() ? nullptr : live.back();
+  }
+  if (live.empty()) {
     base::SetLogNowHook(nullptr);
   }
+}
+
+Simulator::EventNode* Simulator::AllocNode() {
+  if (free_ != nullptr) {
+    EventNode* node = free_;
+    free_ = node->next;
+    node->next = nullptr;
+    return node;
+  }
+  if (chunk_used_ == kChunkNodes) {
+    chunks_.push_back(std::make_unique<EventNode[]>(kChunkNodes));
+    chunk_used_ = 0;
+  }
+  return &chunks_.back()[chunk_used_++];
+}
+
+void Simulator::FreeNode(EventNode* node) {
+  node->handle = nullptr;
+  if (node->fn) {
+    node->fn = nullptr;
+  }
+  node->next = free_;
+  free_ = node;
+}
+
+void Simulator::PushNowLane(EventNode* node) {
+  if (now_tail_ != nullptr) {
+    now_tail_->next = node;
+  } else {
+    now_head_ = node;
+  }
+  now_tail_ = node;
+}
+
+void Simulator::PushWheel(EventNode* node) {
+  uint64_t idx = static_cast<uint64_t>(node->at) & kWheelMask;
+  Bucket& bucket = wheel_[idx];
+  if (bucket.head == nullptr) {
+    bucket.head = bucket.tail = node;
+    bitmap_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    ++wheel_count_;  // counts occupied buckets
+  } else {
+    // Appending keeps the bucket in seq order: one bucket holds exactly one
+    // microsecond, and seq is globally monotone.
+    bucket.tail->next = node;
+    bucket.tail = node;
+  }
+}
+
+Time Simulator::NextWheelTime() const {
+  if (wheel_count_ == 0) {
+    return kNoTime;
+  }
+  // Every occupied bucket holds a time in (now_, now_ + kWheelSpan); the
+  // first set bit circularly after now_ is therefore the soonest.
+  uint64_t start = static_cast<uint64_t>(now_ + 1) & kWheelMask;
+  Time scanned = 0;
+  while (scanned < kWheelSpan) {
+    uint64_t pos = (start + static_cast<uint64_t>(scanned)) & kWheelMask;
+    uint64_t bits = bitmap_[pos >> 6] >> (pos & 63);
+    if (bits != 0) {
+      Time dist = scanned + std::countr_zero(bits);
+      CHECK_LT(dist, kWheelSpan);
+      return now_ + 1 + dist;
+    }
+    scanned += 64 - static_cast<Time>(pos & 63);  // jump to next word
+  }
+  CHECK(false);  // wheel_count_ > 0 guarantees a set bit
+  return kNoTime;
+}
+
+void Simulator::Enqueue(Time when, EventNode* node) {
+  CHECK_GE(when, now_);
+  node->at = when;
+  node->seq = next_seq_++;
+  node->next = nullptr;
+  if (node->background) {
+    ++background_pending_;
+  } else {
+    ++foreground_pending_;
+  }
+  if (when == now_) {
+    PushNowLane(node);
+  } else if (when - now_ < kWheelSpan) {
+    PushWheel(node);
+  } else {
+    far_.push_back(node);
+    std::push_heap(far_.begin(), far_.end(), FarLater{});
+  }
+}
+
+Time Simulator::PeekNextTime() const {
+  if (now_head_ != nullptr) {
+    return now_;
+  }
+  Time wheel_t = NextWheelTime();
+  Time far_t = far_.empty() ? kNoTime : far_.front()->at;
+  return wheel_t < far_t ? wheel_t : far_t;
+}
+
+bool Simulator::RefillNowLane() {
+  Time wheel_t = NextWheelTime();
+  Time far_t = far_.empty() ? kNoTime : far_.front()->at;
+  Time t = wheel_t < far_t ? wheel_t : far_t;
+  if (t == kNoTime) {
+    return false;
+  }
+  now_ = t;
+
+  EventNode* wheel_head = nullptr;
+  EventNode* wheel_tail = nullptr;
+  if (wheel_t == t) {
+    uint64_t idx = static_cast<uint64_t>(t) & kWheelMask;
+    Bucket& bucket = wheel_[idx];
+    wheel_head = bucket.head;
+    wheel_tail = bucket.tail;
+    bucket.head = bucket.tail = nullptr;
+    bitmap_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+    --wheel_count_;
+  }
+  if (far_t != t) {
+    now_head_ = wheel_head;
+    now_tail_ = wheel_tail;
+    return true;
+  }
+
+  // Far-heap run at exactly t: pops come out in seq order.
+  EventNode* far_head = nullptr;
+  EventNode* far_tail = nullptr;
+  while (!far_.empty() && far_.front()->at == t) {
+    std::pop_heap(far_.begin(), far_.end(), FarLater{});
+    EventNode* node = far_.back();
+    far_.pop_back();
+    node->next = nullptr;
+    if (far_tail != nullptr) {
+      far_tail->next = node;
+    } else {
+      far_head = node;
+    }
+    far_tail = node;
+  }
+
+  // Merge the two seq-ascending runs so FIFO-at-equal-time holds across
+  // lanes (an event scheduled far ahead must still run before a later-
+  // scheduled event at the same time).
+  EventNode dummy;
+  EventNode* tail = &dummy;
+  EventNode* a = wheel_head;
+  EventNode* b = far_head;
+  while (a != nullptr && b != nullptr) {
+    EventNode** take = a->seq < b->seq ? &a : &b;
+    EventNode* node = *take;
+    *take = node->next;
+    tail->next = node;
+    tail = node;
+  }
+  if (a != nullptr) {
+    tail->next = a;
+    now_tail_ = wheel_tail;
+  } else if (b != nullptr) {
+    tail->next = b;
+    now_tail_ = far_tail;
+  } else {
+    tail->next = nullptr;
+    now_tail_ = tail == &dummy ? nullptr : tail;
+  }
+  now_head_ = dummy.next;
+  return now_head_ != nullptr;
 }
 
 void Simulator::Schedule(Duration delay, std::function<void()> fn, bool background) {
@@ -31,11 +233,22 @@ void Simulator::Schedule(Duration delay, std::function<void()> fn, bool backgrou
 }
 
 void Simulator::ScheduleAt(Time when, std::function<void()> fn, bool background) {
-  CHECK_GE(when, now_);
-  if (!background) {
-    ++foreground_pending_;
-  }
-  queue_.push(Event{when, next_seq_++, std::move(fn), background});
+  EventNode* node = AllocNode();
+  node->fn = std::move(fn);
+  node->background = background;
+  Enqueue(when, node);
+}
+
+void Simulator::ScheduleResume(Duration delay, std::coroutine_handle<> h, bool background) {
+  CHECK_GE(delay, 0);
+  ScheduleResumeAt(now_ + delay, h, background);
+}
+
+void Simulator::ScheduleResumeAt(Time when, std::coroutine_handle<> h, bool background) {
+  EventNode* node = AllocNode();
+  node->handle = h;
+  node->background = background;
+  Enqueue(when, node);
 }
 
 void Simulator::Spawn(Task<void> task) {
@@ -43,37 +256,65 @@ void Simulator::Spawn(Task<void> task) {
   CHECK(handle);
   handle.promise().detached = true;
   handle.promise().started = true;
-  Schedule(0, [handle]() { handle.resume(); });
+  ScheduleResumeAt(now_, handle);
 }
 
-void Simulator::Ready(std::coroutine_handle<> h) {
-  Schedule(0, [h]() { h.resume(); });
+void Simulator::ReportEventOverflow(Time at, uint64_t seq, bool background) {
+  std::fprintf(
+      stderr,
+      "sim::Simulator: event budget exhausted after %llu events (set_max_events)\n"
+      "  virtual time: %lld us\n"
+      "  offending event: at=%lld us seq=%llu %s\n"
+      "  pending: %llu foreground + %llu background events\n"
+      "  last completed event's trace span: %llu\n"
+      "Likely a runaway event loop; if the workload is genuinely this large,\n"
+      "raise the budget with set_max_events().\n",
+      static_cast<unsigned long long>(events_processed_), static_cast<long long>(now_),
+      static_cast<long long>(at), static_cast<unsigned long long>(seq),
+      background ? "background" : "foreground",
+      static_cast<unsigned long long>(foreground_pending_),
+      static_cast<unsigned long long>(background_pending_),
+      static_cast<unsigned long long>(last_event_span_));
+  std::abort();
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  if (now_head_ == nullptr && !RefillNowLane()) {
     return false;
   }
-  // std::priority_queue::top is const; moving the closure out requires the
-  // usual const_cast dance. Safe: we pop immediately after.
-  Event& top = const_cast<Event&>(queue_.top());
-  Time at = top.at;
-  bool background = top.background;
-  std::function<void()> fn = std::move(top.fn);
-  queue_.pop();
-  if (!background) {
+  EventNode* node = now_head_;
+  now_head_ = node->next;
+  if (now_head_ == nullptr) {
+    now_tail_ = nullptr;
+  }
+  if (node->background) {
+    CHECK_GT(background_pending_, 0u);
+    --background_pending_;
+  } else {
     CHECK_GT(foreground_pending_, 0u);
     --foreground_pending_;
   }
-  CHECK_GE(at, now_);
-  now_ = at;
   ++events_processed_;
-  CHECK_LT(events_processed_, max_events_);
+  if (events_processed_ >= max_events_) {
+    ReportEventOverflow(node->at, node->seq, node->background);
+  }
+  if (step_observer_) {
+    step_observer_(node->at, node->seq);
+  }
   g_current = this;
   // Plain scheduled lambdas (timers, packet deliveries) run unattributed;
   // coroutine resumptions restore their own span via Task's awaiter hooks.
   tracectx::current_span = 0;
-  fn();
+  if (node->handle) {
+    std::coroutine_handle<> h = node->handle;
+    FreeNode(node);
+    h.resume();
+  } else {
+    std::function<void()> fn = std::move(node->fn);
+    FreeNode(node);
+    fn();
+  }
+  last_event_span_ = tracectx::current_span;
   return true;
 }
 
@@ -84,7 +325,11 @@ Time Simulator::Run() {
 }
 
 Time Simulator::RunUntil(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (true) {
+    Time next = PeekNextTime();
+    if (next == kNoTime || next > deadline) {
+      break;
+    }
     Step();
   }
   if (now_ < deadline) {

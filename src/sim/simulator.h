@@ -3,12 +3,36 @@
 // Determinism: events at the same virtual time run in scheduling order
 // (FIFO via a monotone sequence number), so a given seed always produces an
 // identical execution. All coroutine resumptions go through this queue.
+//
+// Hot-path design (see DESIGN.md §9). Events are arena-recycled nodes in
+// one of three lanes, chosen by how far in the future they land:
+//
+//   now lane    when == Now(): an intrusive FIFO. This is the dominant
+//               case — Ready()/Spawn() resumptions and zero-delay
+//               schedules — and costs one free-list pop and two pointer
+//               writes, no comparisons and no heap allocation.
+//   wheel       0 < when - Now() < kWheelSpan: a timing wheel with one
+//               bucket per microsecond (the clock's full resolution, so a
+//               bucket never holds two distinct times and FIFO append is
+//               already seq order). An occupancy bitmap makes "next
+//               nonempty bucket" a word scan.
+//   far heap    when - Now() >= kWheelSpan: a binary min-heap of node
+//               pointers ordered by (at, seq) — RPC timeouts, daemon
+//               periods, crash schedules.
+//
+// When the now lane drains, the next bucket-or-heap time is found and every
+// node at that exact time is spliced into the now lane, merging the wheel
+// and heap runs by seq so the FIFO-at-equal-time contract holds across
+// lanes. Coroutine resumptions carry a bare coroutine handle — no
+// std::function, no closure state; only genuinely closure-shaped events
+// (packet deliveries, timers with payloads) pay for one.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "src/base/check.h"
@@ -36,6 +60,11 @@ class Simulator {
   // Enqueue at an absolute virtual time (>= Now()).
   void ScheduleAt(Time when, std::function<void()> fn, bool background = false);
 
+  // Closure-free variants for coroutine resumptions: the event carries the
+  // bare handle. Sleep, Ready, and Spawn route through these.
+  void ScheduleResume(Duration delay, std::coroutine_handle<> h, bool background = false);
+  void ScheduleResumeAt(Time when, std::coroutine_handle<> h, bool background = false);
+
   // Start a detached coroutine. The task begins running at the current
   // virtual time (via the event queue) and owns itself until completion.
   void Spawn(Task<void> task);
@@ -49,41 +78,96 @@ class Simulator {
   // `deadline` still run. Returns the time of the last processed event.
   Time RunUntil(Time deadline);
 
-  // Safety valve: abort if a single Run processes more than this many events
-  // (catches accidental infinite event loops in tests).
+  // Safety valve: on overflow, abort with the current virtual time, the
+  // pending-event counts, and the last event's trace span (catches
+  // accidental infinite event loops in tests and fault sweeps).
   void set_max_events(uint64_t n) { max_events_ = n; }
 
   uint64_t events_processed() const { return events_processed_; }
+  uint64_t foreground_pending() const { return foreground_pending_; }
+  uint64_t background_pending() const { return background_pending_; }
 
   // Resume a coroutine through the event queue at the current time. This is
   // the only way sync primitives wake waiters: it guarantees FIFO fairness
   // and avoids unbounded recursion through resume chains.
-  void Ready(std::coroutine_handle<> h);
+  void Ready(std::coroutine_handle<> h) { ScheduleResumeAt(now_, h); }
+
+  // Test hook: observe every executed event's (time, seq) just before it
+  // runs. The (at, seq) stream is the simulator's definition of execution
+  // order; the determinism tests checksum it.
+  using StepObserver = std::function<void(Time at, uint64_t seq)>;
+  void set_step_observer(StepObserver observer) { step_observer_ = std::move(observer); }
 
  private:
-  struct Event {
-    Time at;
-    uint64_t seq;
+  // One queued event. `handle` set: a coroutine resumption; otherwise `fn`
+  // runs. Nodes are arena-owned and recycled through a free list; `next`
+  // links both the free list and the now-lane / wheel-bucket FIFOs.
+  struct EventNode {
+    Time at = 0;
+    uint64_t seq = 0;
+    EventNode* next = nullptr;
+    std::coroutine_handle<> handle;
     std::function<void()> fn;
     bool background = false;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
-  };
 
+  // Wheel geometry: one bucket per microsecond of near future. 8192
+  // buckets cover 8.2 ms — network latencies, CPU costs, and disk I/O land
+  // here; second-scale timers fall through to the far heap.
+  static constexpr int kWheelBits = 13;
+  static constexpr Time kWheelSpan = Time{1} << kWheelBits;
+  static constexpr uint64_t kWheelMask = kWheelSpan - 1;
+  static constexpr size_t kBitmapWords = kWheelSpan / 64;
+  static constexpr size_t kChunkNodes = 256;
+  static constexpr Time kNoTime = INT64_MAX;
+
+  EventNode* AllocNode();
+  void FreeNode(EventNode* node);
+  void Enqueue(Time when, EventNode* node);
+  void PushNowLane(EventNode* node);
+  void PushWheel(EventNode* node);
+  Time NextWheelTime() const;
+  // Advance the clock to the next event time and splice every node at that
+  // time into the now lane (merging wheel and heap runs by seq). False if
+  // no events remain.
+  bool RefillNowLane();
+  // Time of the next event without advancing the clock; kNoTime if none.
+  Time PeekNextTime() const;
   bool Step();  // run one event; false if queue empty
+  [[noreturn]] void ReportEventOverflow(Time at, uint64_t seq, bool background);
 
   Time now_ = 0;
   uint64_t foreground_pending_ = 0;
+  uint64_t background_pending_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   uint64_t max_events_ = 2'000'000'000;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Trace span left ambient by the most recently completed event; reported
+  // by ReportEventOverflow so runaway loops name their causal span.
+  uint64_t last_event_span_ = 0;
+
+  // Now lane: intrusive FIFO of events at exactly now_.
+  EventNode* now_head_ = nullptr;
+  EventNode* now_tail_ = nullptr;
+
+  // Timing wheel: per-bucket FIFO (head/tail) plus an occupancy bitmap.
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+  std::unique_ptr<Bucket[]> wheel_;
+  uint64_t bitmap_[kBitmapWords] = {};
+  size_t wheel_count_ = 0;
+
+  // Far heap: node pointers ordered by (at, seq), min at front.
+  std::vector<EventNode*> far_;
+
+  // Node arena: fixed-size chunks, recycled through an intrusive free list.
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  size_t chunk_used_ = kChunkNodes;
+  EventNode* free_ = nullptr;
+
+  StepObserver step_observer_;
 };
 
 // Awaitable: suspend the current coroutine for `d` of virtual time.
@@ -100,7 +184,7 @@ struct Sleep {
 
   bool await_ready() const noexcept { return duration <= 0; }
   void await_suspend(std::coroutine_handle<> h) const {
-    simulator.Schedule(duration, [h]() { h.resume(); }, background);
+    simulator.ScheduleResume(duration, h, background);
   }
   void await_resume() const noexcept {}
 };

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/sim/frame_pool.h"
 #include "src/sim/trace_ctx.h"
 
 namespace sim {
@@ -61,6 +62,12 @@ struct TraceAwaiter {
 };
 
 struct PromiseBase {
+  // Coroutine frames allocate through the size-class pool: every simulated
+  // activity is a Task, so this removes a malloc/free pair per activity on
+  // the hot path (frame_pool.h).
+  static void* operator new(size_t n) { return framepool::Alloc(n); }
+  static void operator delete(void* p, size_t n) { framepool::Free(p, n); }
+
   std::coroutine_handle<> continuation;
   bool detached = false;
   bool started = false;

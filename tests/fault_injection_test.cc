@@ -339,5 +339,31 @@ TEST(FaultSweepTest, SeedRunsAreReproducible) {
   EXPECT_EQ(a.recovery_latency, b.recovery_latency);
 }
 
+// Pinned golden for the event-queue rewrite: this cell was captured under
+// the pre-rewrite simulator (std::function events in one binary heap) and
+// every count below reproduced exactly after the three-lane queue replaced
+// it. The counters are downstream of event order — retransmissions depend
+// on timeout-vs-reply races, duplication counts on RNG draw order, the
+// trace event count on every scheduling decision in the run — so a failure
+// here means the determinism contract (time order, FIFO at equal time)
+// moved, not just a statistic.
+TEST(FaultSweepTest, SeedSevenChaosCellMatchesPinnedGolden) {
+  SweepOptions options = ChaosOptions(ServerProtocol::kSnfs);
+  options.trace_check = true;
+  SeedStats s = RunFaultSeed(options, 7);
+  EXPECT_TRUE(s.ok) << s.failure;
+  EXPECT_EQ(s.ops_attempted, 221u);
+  EXPECT_EQ(s.ops_ok, 218u);
+  EXPECT_EQ(s.reads_verified, 109u);
+  EXPECT_EQ(s.trace_events, 10165u);
+  EXPECT_EQ(s.trace_violations, 0u);
+  EXPECT_EQ(s.retransmissions, 71u);
+  EXPECT_EQ(s.duplicates_suppressed, 53u);
+  EXPECT_EQ(s.stale_replies_dropped, 0u);
+  EXPECT_EQ(s.packets_dropped, 78u);
+  EXPECT_EQ(s.packets_duplicated, 47u);
+  EXPECT_EQ(s.recovery_latency, 8042839);
+}
+
 }  // namespace
 }  // namespace fault

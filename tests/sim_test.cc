@@ -2,9 +2,13 @@
 // tasks, sleeps, futures, and sync primitives.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/base/log.h"
 #include "src/sim/cpu.h"
 #include "src/sim/future.h"
 #include "src/sim/random.h"
@@ -45,6 +49,42 @@ TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
   s.Schedule(Sec(1), [&] { s.Schedule(Sec(2), [&] { inner_time = s.Now(); }); });
   s.Run();
   EXPECT_EQ(inner_time, Sec(3));
+}
+
+TEST(SimulatorTest, RunUntilRunsEventExactlyAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.Schedule(Sec(2), [&] { ++fired; });
+  s.RunUntil(Sec(2));
+  EXPECT_EQ(fired, 1);  // "events at exactly `deadline` still run"
+  EXPECT_EQ(s.Now(), Sec(2));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesThroughBackgroundOnlyEvents) {
+  Simulator s;
+  int fired = 0;
+  // Only background events pending: Run() would return immediately, but
+  // RunUntil must still process everything up to its deadline.
+  s.Schedule(Msec(10), [&] { ++fired; }, /*background=*/true);
+  s.Schedule(Sec(5), [&] { ++fired; }, /*background=*/true);
+  Time end = s.RunUntil(Sec(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(end, Sec(1));
+  EXPECT_EQ(s.background_pending(), 1u);
+  EXPECT_EQ(s.foreground_pending(), 0u);
+}
+
+TEST(SimulatorTest, RunReturnsWhenOnlyBackgroundEventsRemain) {
+  Simulator s;
+  int foreground = 0;
+  int background = 0;
+  s.Schedule(Msec(1), [&] { ++foreground; });
+  s.Schedule(Msec(2), [&] { ++background; }, /*background=*/true);
+  s.Run();
+  EXPECT_EQ(foreground, 1);
+  EXPECT_EQ(background, 0);
+  EXPECT_EQ(s.Now(), Msec(1));
+  EXPECT_EQ(s.background_pending(), 1u);
 }
 
 TEST(SimulatorTest, RunUntilStopsAtDeadline) {
@@ -271,6 +311,120 @@ TEST(RngTest, DeterministicAndInRange) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+// --- log-now-hook lifecycle across simulator lifetimes ----------------------
+
+TEST(SimulatorTest, LogNowHookTracksNestedLifetimes) {
+  ASSERT_EQ(base::GetLogNowHook(), nullptr);
+  {
+    Simulator outer;
+    outer.Schedule(Sec(1), [] {});
+    outer.Run();
+    ASSERT_NE(base::GetLogNowHook(), nullptr);
+    EXPECT_EQ(base::GetLogNowHook()(), Sec(1));
+    {
+      Simulator inner;
+      inner.Schedule(Msec(5), [] {});
+      inner.Run();
+      EXPECT_EQ(base::GetLogNowHook()(), Msec(5));
+    }
+    // The inner simulator died; log timestamps fall back to the outer one
+    // instead of reading freed memory.
+    ASSERT_NE(base::GetLogNowHook(), nullptr);
+    EXPECT_EQ(base::GetLogNowHook()(), Sec(1));
+  }
+  EXPECT_EQ(base::GetLogNowHook(), nullptr);
+}
+
+TEST(SimulatorTest, LogNowHookSurvivesOutOfOrderDestruction) {
+  auto older = std::make_unique<Simulator>();
+  auto newer = std::make_unique<Simulator>();
+  older->Schedule(Sec(2), [] {});
+  older->Run();
+  newer->Schedule(Sec(7), [] {});
+  newer->Run();
+  // Destroying the older simulator first must not disturb the hook, which
+  // points at the newer (current) one.
+  older.reset();
+  ASSERT_NE(base::GetLogNowHook(), nullptr);
+  EXPECT_EQ(base::GetLogNowHook()(), Sec(7));
+  newer.reset();
+  EXPECT_EQ(base::GetLogNowHook(), nullptr);
+}
+
+// --- execution-order contract ------------------------------------------------
+
+// A load whose delays scatter events across all three queue lanes: zero
+// (now lane), sub-span (timing wheel), the exact wheel-span boundary, and
+// multi-second (far heap).
+std::vector<std::pair<Time, uint64_t>> RunScatterLoad(uint64_t seed) {
+  Simulator s;
+  std::vector<std::pair<Time, uint64_t>> steps;
+  s.set_step_observer([&steps](Time at, uint64_t seq) { steps.emplace_back(at, seq); });
+  Rng rng(seed);
+  int remaining = 4000;
+  std::function<void()> hop = [&] {
+    if (remaining == 0) {
+      return;
+    }
+    --remaining;
+    static constexpr Duration kDelays[] = {0,    Usec(1),        Usec(137), Msec(4),
+                                           8191, 8192 /* span */, Sec(3)};
+    s.Schedule(kDelays[rng.UniformInt(0, 6)], hop);
+  };
+  for (int i = 0; i < 8; ++i) {
+    s.Schedule(Usec(i), hop);
+  }
+  s.Run();
+  return steps;
+}
+
+// The executed (at, seq) stream is the simulator's definition of execution
+// order: time-ordered, and FIFO in scheduling order at equal times. Because
+// seq is assigned monotonically at schedule time, both together mean the
+// stream must be lexicographically sorted — regardless of which lane each
+// event traveled through.
+TEST(SimulatorTest, ExecutionOrderIsLexicographicallySorted) {
+  auto steps = RunScatterLoad(12345);
+  ASSERT_GT(steps.size(), 4000u);
+  for (size_t i = 1; i < steps.size(); ++i) {
+    bool sorted = steps[i - 1].first < steps[i].first ||
+                  (steps[i - 1].first == steps[i].first && steps[i - 1].second < steps[i].second);
+    ASSERT_TRUE(sorted) << "step " << i << ": (" << steps[i - 1].first << ","
+                        << steps[i - 1].second << ") then (" << steps[i].first << ","
+                        << steps[i].second << ")";
+  }
+}
+
+TEST(SimulatorTest, ExecutionOrderIsDeterministicAcrossRuns) {
+  auto a = RunScatterLoad(777);
+  auto b = RunScatterLoad(777);
+  EXPECT_EQ(a, b);
+  auto c = RunScatterLoad(778);
+  EXPECT_NE(a, c);
+}
+
+// --- event-budget overflow diagnostics --------------------------------------
+
+void RunawayLoop() {
+  Simulator s;
+  s.set_max_events(3);
+  std::function<void()> loop;
+  loop = [&] { s.Schedule(Usec(1), loop); };
+  s.Schedule(Usec(1), loop);
+  s.Schedule(Sec(1), [] {}, /*background=*/true);
+  s.Run();
+}
+
+TEST(SimulatorDeathTest, EventBudgetOverflowReportsDiagnostics) {
+  // The third pop of the self-rescheduling loop trips the budget at t=3us;
+  // the report must carry the virtual time, the offending event's identity,
+  // and the pending-event counts (the background timer is still queued).
+  EXPECT_DEATH(RunawayLoop(), "event budget exhausted after 3 events");
+  EXPECT_DEATH(RunawayLoop(), "virtual time: 3 us");
+  EXPECT_DEATH(RunawayLoop(), "offending event: at=3 us seq=3 foreground");
+  EXPECT_DEATH(RunawayLoop(), "pending: 0 foreground \\+ 1 background");
 }
 
 TEST(RngTest, ForkedStreamsDiffer) {
