@@ -21,7 +21,17 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 echo "== snfslint: simulator-aware static analysis =="
+# The interprocedural pass (call graph + may-suspend fixpoint) runs on every
+# build and inside ctest, so its wall time is part of the edit loop; budget
+# it at 10s and fail loudly if it regresses.
+lint_start_ns=$(date +%s%N)
 ./build/tools/lint/snfslint --root . src tests bench examples
+lint_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+echo "snfslint wall time: ${lint_ms} ms (budget 10000 ms)"
+if [ "$lint_ms" -gt 10000 ]; then
+  echo "FAIL: snfslint exceeded its 10s wall-time budget" >&2
+  exit 1
+fi
 
 echo "== trace checker: one fault-sweep seed with causal-trace validation =="
 # Records every cell of the sweep and runs the stale-read / concurrent-dirty /

@@ -170,6 +170,10 @@ sim::Task<base::Result<SortReport>> RunSort(sim::Simulator& simulator, vfs::Vfs&
         if (best < 0) {
           break;
         }
+        // Refill mutates the source in place while it awaits the disk, but
+        // `sources` is coroutine-local and never resized during the merge,
+        // so no interleaved coroutine can invalidate the reference.
+        // lint: suspend-escape-ok
         MergeSource& src = sources[static_cast<size_t>(best)];
         out_buffer.insert(out_buffer.end(), src.buffer.begin() + static_cast<int64_t>(src.pos),
                           src.buffer.begin() + static_cast<int64_t>(src.pos + kSortRecordBytes));

@@ -218,6 +218,57 @@ TEST(NfsTest, PartialBlockWritesAreDelayedUntilClose) {
   EXPECT_TRUE(done);
 }
 
+TEST(NfsTest, FsyncRacingNewWriteLosesNothing) {
+  // Guard for the helper-call interleaving the interprocedural lint pass
+  // (DESIGN.md §7) reasons about: FlushPartials moves each delayed block
+  // out of node->partial and erases the entry *before* handing the bytes
+  // to the may-suspend SpawnAsyncWrite helper, re-acquiring .begin() every
+  // iteration — so a writer that runs while the flushed RPCs are still in
+  // flight can mutate the map freely. Pin the observable contract: a write
+  // racing an fsync of the same file loses neither its own bytes nor the
+  // flushed ones, and nothing is written twice.
+  NfsWorld w;
+  bool done = false;
+  w.simulator.Spawn([](NfsWorld& w, bool& done) -> sim::Task<void> {
+    vfs::Vfs& v = w.client(0).vfs();
+    auto fd = co_await v.Open("/data/f", vfs::OpenFlags::WriteCreate());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) {
+      co_return;
+    }
+    // One delayed partial block, then an fsync racing the next write.
+    EXPECT_TRUE((co_await v.Write(*fd, TestPattern(100, 0))).ok());
+    bool fsync_done = false;
+    w.simulator.Spawn([](vfs::Vfs& v, int fd, bool* flag) -> sim::Task<void> {
+      EXPECT_TRUE((co_await v.Fsync(fd)).ok());
+      *flag = true;
+    }(v, *fd, &fsync_done));
+    // 50us < one network propagation delay: the fsync's flushed write RPC
+    // is still in flight when the next write lands.
+    co_await sim::Sleep(w.simulator, sim::Usec(50));
+    EXPECT_FALSE(fsync_done);
+    EXPECT_TRUE((co_await v.Write(*fd, TestPattern(100, 1))).ok());
+    EXPECT_TRUE((co_await v.Close(*fd)).ok());
+    EXPECT_TRUE(fsync_done);
+    // Exactly two write RPCs: the flushed partial and the raced write —
+    // nothing lost, nothing duplicated.
+    EXPECT_EQ(w.client(0).peer().client_ops().Get(proto::OpKind::kWrite), 2u);
+    // The server holds both writes' bytes (read from the other client so
+    // the first client's cache cannot answer).
+    auto got = co_await w.client(1).vfs().ReadFile("/data/f");
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      auto want = TestPattern(100, 0);
+      auto second = TestPattern(100, 1);
+      want.insert(want.end(), second.begin(), second.end());
+      EXPECT_EQ(*got, want);
+    }
+    done = true;
+  }(w, done));
+  w.simulator.Run();
+  EXPECT_TRUE(done);
+}
+
 TEST(NfsTest, FullBlockWritesGoStraightThrough) {
   NfsWorld w;
   bool done = false;

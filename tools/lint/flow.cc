@@ -1,9 +1,10 @@
 // Flow-sensitive suspension-point analysis (rules: await-stale-ref,
-// await-cached-size).
+// await-cached-size, suspend-escape).
 //
-// The pass walks every function body that directly contains a suspension
-// point (`co_await` / `co_yield`), parsing the token stream into a statement
-// tree. An abstract state maps local variable names to the *unstable source*
+// The pass walks every function body that contains a suspension point — a
+// literal `co_await` / `co_yield`, or a call that the repo-wide call graph
+// (callgraph.h) classifies as may-suspend — parsing the token stream into a
+// statement tree. An abstract state maps local variable names to the *unstable source*
 // they were bound from — a function returning a raw pointer / reference into
 // a container, a container lookup (`.find()`, `.begin()`, `operator[]`,
 // `.at()`), the address of a container element, or a size/emptiness snapshot.
@@ -29,6 +30,16 @@
 //  * Size snapshots are tracked only when taken from a member container
 //    (root identifier ending in `_`, or reached through `->`): a snapshot of
 //    a function-local container cannot be invalidated by another coroutine.
+//  * A call site counts as suspending only when every candidate it resolves
+//    to may suspend (see callgraph.h); unresolvable names stay quiet.
+//
+// suspend-escape extends the lifetime reasoning across the call boundary: a
+// tracked pointer / iterator / reference passed as a *whole argument* into a
+// may-suspend callee can be held by the callee across its own suspension,
+// where neither side's per-function analysis can see the invalidation. The
+// scan runs before staleness is applied, so even a freshly bound handle
+// fires. Reading a value *through* the handle inside the argument list
+// (`f(e->size)`) stays quiet — that is a pre-suspension value read.
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -103,8 +114,9 @@ using EmitFn = std::function<void(int, int, const std::string&, std::string)>;
 
 class FlowPass {
  public:
-  FlowPass(const std::vector<Token>& t, const std::set<std::string>& unstable_fns, EmitFn emit)
-      : t_(t), unstable_fns_(unstable_fns), emit_(std::move(emit)) {
+  FlowPass(const std::vector<Token>& t, const std::set<std::string>& unstable_fns,
+           const CallGraph* cg, EmitFn emit)
+      : t_(t), unstable_fns_(unstable_fns), cg_(cg), emit_(std::move(emit)) {
     BuildMatchTables();
   }
 
@@ -189,9 +201,24 @@ class FlowPass {
     return kNpos;
   }
 
-  // True when [begin, end) contains co_await / co_yield outside nested
-  // lambda bodies (a lambda is its own coroutine; its suspensions do not
-  // suspend the enclosing function).
+  // True when the identifier at `i` names a call (`name(...)`) whose every
+  // call-graph candidate may suspend. Names the call graph cannot resolve
+  // yield false (conservative-quiet, matching the statement rules).
+  bool SuspendingCallAt(size_t i) const {
+    if (cg_ == nullptr || !IsIdent(t_, i) || !IsPunct(t_, i + 1, "(")) {
+      return false;
+    }
+    std::string qualifier;
+    if (i >= 2 && IsPunct(t_, i - 1, "::") && IsIdent(t_, i - 2)) {
+      qualifier = t_[i - 2].text;
+    }
+    return cg_->CallSuspends(qualifier, t_[i].text);
+  }
+
+  // True when [begin, end) contains a suspension point — co_await /
+  // co_yield, or a call to a may-suspend function — outside nested lambda
+  // bodies (a lambda is its own coroutine; its suspensions do not suspend
+  // the enclosing function).
   bool ContainsSuspension(size_t begin, size_t end) const {
     for (size_t i = begin; i < end; ++i) {
       if (IsLambdaStart(i)) {
@@ -202,6 +229,9 @@ class FlowPass {
         }
       }
       if (IsIdent(t_, i) && (t_[i].text == "co_await" || t_[i].text == "co_yield")) {
+        return true;
+      }
+      if (SuspendingCallAt(i)) {
         return true;
       }
     }
@@ -586,6 +616,9 @@ class FlowPass {
       return;
     }
     bool suspends = ContainsSuspension(begin, end);
+    // Escapes-into-callee are checked first: handing a tracked handle to a
+    // may-suspend callee is a hazard even when the handle is still fresh.
+    ScanEscapes(begin, end, st);
     // Uses are evaluated before the statement's own suspension resolves
     // (`co_await Write(entry->data)` reads entry pre-suspension).
     ScanUses(begin, end, st, is_cond);
@@ -593,6 +626,69 @@ class FlowPass {
       MarkAllStale(st);
     }
     DetectBinding(begin, end, st);
+  }
+
+  // suspend-escape: a tracked pointer/iterator/reference passed as a whole
+  // argument into a may-suspend call within [begin, end). "Whole argument"
+  // means the variable is the entire expression between separators (next
+  // token `,` or `)`, not preceded by `.`/`->`/`::`): `Consume(e)` escapes,
+  // `Record(e->size)` is a value read and stays quiet.
+  void ScanEscapes(size_t begin, size_t end, FlowState& st) {
+    for (size_t i = begin; i < end; ++i) {
+      if (IsLambdaStart(i)) {
+        size_t past = SkipLambda(i);
+        if (past != kNpos && past <= end) {
+          i = past - 1;
+          continue;
+        }
+      }
+      if (!SuspendingCallAt(i)) {
+        continue;
+      }
+      size_t lparen = i + 1;
+      size_t close = match_[lparen];
+      if (close == kNpos || close > end) {
+        continue;
+      }
+      std::string callee = t_[i].text;
+      if (i >= 2 && IsPunct(t_, i - 1, "::") && IsIdent(t_, i - 2)) {
+        callee = t_[i - 2].text + "::" + callee;
+      }
+      for (size_t j = lparen + 1; j < close; ++j) {
+        if (IsLambdaStart(j)) {
+          size_t past = SkipLambda(j);
+          if (past != kNpos && past <= close) {
+            j = past - 1;
+            continue;
+          }
+        }
+        if (t_[j].kind != TokKind::kIdent) {
+          continue;
+        }
+        auto it = st.vars.find(t_[j].text);
+        if (it == st.vars.end() || it->second.kind == VarInfo::kSize) {
+          continue;
+        }
+        if (IsPunct(t_, j - 1, ".") || IsPunct(t_, j - 1, "->") || IsPunct(t_, j - 1, "::")) {
+          continue;  // member of some other object, or qualified name
+        }
+        if (!(IsPunct(t_, j + 1, ",") || IsPunct(t_, j + 1, ")"))) {
+          continue;  // part of a larger expression (e.g. a read through it)
+        }
+        int line = t_[j].line;
+        if (!reported_.insert({it->first, line}).second) {
+          continue;
+        }
+        const VarInfo& info = it->second;
+        emit_(line, info.bind_line, "suspend-escape",
+              "`" + it->first + "` holds " + std::string(KindNoun(info.kind)) + " from " +
+                  info.source + " bound at line " + std::to_string(info.bind_line) +
+                  " and is passed into may-suspend `" + callee +
+                  "(...)`, which can hold it across a suspension while another coroutine "
+                  "invalidates it — pass the key (and re-look-up in the callee) or copied "
+                  "values instead");
+      }
+    }
   }
 
   void ScanUses(size_t begin, size_t end, FlowState& st, bool is_cond) {
@@ -852,6 +948,7 @@ class FlowPass {
 
   const std::vector<Token>& t_;
   const std::set<std::string>& unstable_fns_;
+  const CallGraph* cg_;
   EmitFn emit_;
   std::vector<size_t> match_;    // opener index -> matching closer index
   std::vector<size_t> open_of_;  // closer index -> matching opener index
@@ -861,7 +958,7 @@ class FlowPass {
 }  // namespace
 
 void Linter::CheckFlow(const FileState& fs, std::vector<Diagnostic>& out) {
-  FlowPass pass(fs.lex.tokens, unstable_fns_,
+  FlowPass pass(fs.lex.tokens, unstable_fns_, &callgraph_,
                 [&](int line, int bind_line, const std::string& rule, std::string message) {
                   if (bind_line != line && Suppressed(fs, bind_line, rule)) {
                     return;  // waived at the binding

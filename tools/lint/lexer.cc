@@ -69,6 +69,17 @@ void RecordSuppressions(const std::string& comment, int line, bool standalone,
       if (standalone) {
         out.unstable_source_lines.insert(line + 1);
       }
+    } else if (word == "no-suspend") {
+      out.no_suspend_lines.insert(line);
+      SuppressionNote note;
+      note.rule = "no-suspend";
+      note.comment_line = line;
+      note.covered.push_back(line);
+      if (standalone) {
+        out.no_suspend_lines.insert(line + 1);
+        note.covered.push_back(line + 1);
+      }
+      out.no_suspend_notes.push_back(std::move(note));
     } else if (!word.empty()) {
       break;  // first non-rule word ends the suppression list
     }

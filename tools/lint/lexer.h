@@ -51,6 +51,14 @@ struct LexResult {
   // declared on (or directly below) such a line returns a pointer/reference
   // into a container even though the return type does not say so.
   std::set<int> unstable_source_lines;
+  // Lines carrying a `// lint: no-suspend` annotation: the function declared
+  // on (or directly below) such a line is pinned non-suspending in the call
+  // graph even though it calls may-suspend functions (see callgraph.h). The
+  // annotation is audited: one that pins nothing is an error.
+  std::set<int> no_suspend_lines;
+  // Every `no-suspend` annotation positionally, for the audit (rule field is
+  // always "no-suspend").
+  std::vector<SuppressionNote> no_suspend_notes;
 };
 
 // Tokenizes `source`. Never fails: unrecognized bytes are skipped.

@@ -307,6 +307,13 @@ std::vector<Diagnostic> Linter::Run() {
     other_fns_.insert(fs.decls.other_fns.begin(), fs.decls.other_fns.end());
     unstable_fns_.insert(fs.decls.unstable_fns.begin(), fs.decls.unstable_fns.end());
   }
+  // Repo-wide call graph + transitive may-suspend fixpoint; the flow rules
+  // consult it to treat calls to may-suspend functions as suspension points.
+  callgraph_ = CallGraph();
+  for (const FileState& fs : files_) {
+    callgraph_.AddFile(fs.path, fs.lex);
+  }
+  callgraph_.Finalize();
 
   std::vector<Diagnostic> out;
   for (const FileState& fs : files_) {
@@ -348,7 +355,7 @@ void Linter::CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out
   static const std::set<std::string> kKnownRules = {
       "coro-ref",       "coro-lambda",     "task-dropped",      "nondet",
       "ordered",        "unused-status",   "await-stale-ref",   "await-cached-size",
-      "trace-span-balance", "suppression-audit"};
+      "suspend-escape", "trace-span-balance", "suppression-audit"};
   for (const SuppressionNote& note : fs.lex.notes) {
     // Auditing audit suppressions would make `suppression-audit-ok`
     // self-justifying; leave them alone.
@@ -374,6 +381,40 @@ void Linter::CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out
            "`// lint: " + note.rule + "-ok` no longer suppresses any diagnostic; the code was "
            "fixed or the suppression is misplaced — remove it",
            out);
+    }
+  }
+  // `// lint: no-suspend` annotations: each must pin exactly the thing it
+  // claims — a function that would otherwise classify may-suspend.
+  for (const SuppressionNote& note : fs.lex.no_suspend_notes) {
+    CallGraph::NoSuspendStatus best;  // strongest status across covered lines
+    for (int line : note.covered) {
+      CallGraph::NoSuspendStatus s = callgraph_.NoSuspendStatusAt(fs.path, line);
+      if (static_cast<int>(s.use) > static_cast<int>(best.use)) {
+        best = s;
+      }
+    }
+    switch (best.use) {
+      case CallGraph::NoSuspendUse::kUsed:
+        break;  // honest pin
+      case CallGraph::NoSuspendUse::kNone:
+        Emit(fs, note.comment_line, "suppression-audit",
+             "`// lint: no-suspend` is not attached to any function declaration; move it onto "
+             "the declaration line (or the line above) or remove it",
+             out);
+        break;
+      case CallGraph::NoSuspendUse::kUnneeded:
+        Emit(fs, note.comment_line, "suppression-audit",
+             "`// lint: no-suspend` pins `" + best.qual +
+                 "`, which is already classified non-suspending; remove the annotation",
+             out);
+        break;
+      case CallGraph::NoSuspendUse::kLiteralAwait:
+        Emit(fs, note.comment_line, "suppression-audit",
+             "`// lint: no-suspend` cannot waive `" + best.qual +
+                 "`: its body contains a literal co_await/co_yield/.resume(); the pin is "
+                 "ignored — remove the annotation",
+             out);
+        break;
     }
   }
 }

@@ -50,10 +50,16 @@
 //                separately before each early exit is clean. Prefer the
 //                trace::Span RAII guard wherever a block scope fits.
 //
-// Flow-sensitive rules (see flow.cc). These walk each coroutine body as a
-// statement tree with `co_await`/`co_yield` marked as suspension points and
-// track which locals hold values that another interleaved coroutine can
-// invalidate while this one is suspended:
+// Flow-sensitive rules (see flow.cc). These walk each function body as a
+// statement tree with suspension points marked and track which locals hold
+// values that another interleaved coroutine can invalidate while this one
+// is suspended. A suspension point is a literal `co_await`/`co_yield` *or a
+// call to a may-suspend function*: the repo-wide call graph (callgraph.h)
+// classifies every function by a fixpoint — it may suspend when its body
+// contains `co_await`/`co_yield`, resumes a coroutine handle, is a
+// `Task<...>`-returning declaration with no visible body, or calls a
+// may-suspend function. `// lint: no-suspend` on a declaration pins a
+// function non-suspending (audited; see below):
 //
 //  await-stale-ref    A local bound to an *unstable source* — a function
 //                     returning a raw pointer/reference into a container
@@ -61,17 +67,31 @@
 //                     anything annotated `// lint: unstable-source`), a
 //                     container lookup (`.find()`, `.begin()`,
 //                     `operator[]`, `.at()`), or `&container[key]` — is
-//                     dereferenced after a suspension point without being
-//                     re-acquired. Fix: re-lookup after the await, or copy
-//                     the needed values before suspending.
+//                     dereferenced after a suspension point (a co_await or
+//                     a may-suspend call) without being re-acquired. Fix:
+//                     re-lookup after the await, or copy the needed values
+//                     before suspending.
 //  await-cached-size  A container size/emptiness snapshot (`.size()`,
 //                     `.empty()`, `.count()`) taken before a suspension
 //                     point is branched on after it; the container may have
 //                     changed while the coroutine slept.
+//  suspend-escape     A tracked pointer/iterator/reference is passed, as a
+//                     whole argument, *into* a may-suspend callee: the
+//                     callee can hold it across its own suspension while
+//                     another coroutine invalidates it, which no
+//                     per-function analysis of either side can see. Pass
+//                     the key (let the callee re-look-up) or copied values
+//                     instead. Reading *through* the handle in the argument
+//                     list (`f(e->size)`) is a pre-suspension value read
+//                     and stays quiet.
 //  suppression-audit  A `// lint: <rule>-ok` comment that no longer
 //                     suppresses any diagnostic (the code was fixed, the
 //                     rule changed, or the id is misspelled) is itself an
 //                     error, keeping the suppression inventory honest.
+//                     Also audits `// lint: no-suspend` annotations: one
+//                     that pins no function, pins a function that was never
+//                     may-suspend, or tries to waive a literal
+//                     co_await/.resume() is an error.
 //
 // Unstable sources are inferred from declarations repo-wide: any function
 // declared to return `T*` or `base::Result<T*>`, plus any function whose
@@ -88,6 +108,7 @@
 #include <tuple>
 #include <vector>
 
+#include "tools/lint/callgraph.h"
 #include "tools/lint/lexer.h"
 
 namespace lint {
@@ -132,6 +153,10 @@ class Linter {
   // event queue (the `ordered` rule's scope).
   static bool InOrderSensitiveDir(const std::string& path);
 
+  // The repo-wide call graph with may-suspend classifications. Valid after
+  // Run(); drives `--format=suspend`.
+  const CallGraph& callgraph() const { return callgraph_; }
+
  private:
   struct FileState {
     std::string path;
@@ -161,6 +186,8 @@ class Linter {
             std::vector<Diagnostic>& out);
 
   std::vector<FileState> files_;
+  // Repo-wide call graph + may-suspend fixpoint (rebuilt in Run()).
+  CallGraph callgraph_;
   // Global function tables (populated after all AddFile calls, in Run()).
   std::map<std::string, int> task_fns_;
   std::set<std::string> status_fns_;

@@ -140,6 +140,87 @@ TEST(SnfslintTest, AwaitCachedSizeQuiet) {
   EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
 }
 
+TEST(SnfslintTest, TransitiveSuspendFires) {
+  // The suspension is two call-graph hops from the victims: a pointer held
+  // across the helper call and a size snapshot branched on after it.
+  std::vector<std::string> rules =
+      RulesFiredOn("transitive_suspend_bad.cc", "transitive_suspend_bad.cc");
+  EXPECT_EQ(CountRule(rules, "await-stale-ref"), 1) << ::testing::PrintToString(rules);
+  EXPECT_EQ(CountRule(rules, "await-cached-size"), 1) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, TransitiveSuspendQuiet) {
+  // A visibly non-suspending callee, re-acquisition after the helper call,
+  // and a value copy before it are all clean.
+  std::vector<std::string> rules =
+      RulesFiredOn("transitive_suspend_good.cc", "transitive_suspend_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, SuspendEscapeFires) {
+  // A pointer, an iterator, and a reference each passed whole into a
+  // may-suspend callee.
+  std::vector<std::string> rules =
+      RulesFiredOn("suspend_escape_bad.cc", "suspend_escape_bad.cc");
+  EXPECT_EQ(CountRule(rules, "suspend-escape"), 3) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, SuspendEscapeQuiet) {
+  // Value reads through the handle, an opaque (never-shown-to-suspend)
+  // callee, and an audited handoff are all clean.
+  std::vector<std::string> rules =
+      RulesFiredOn("suspend_escape_good.cc", "suspend_escape_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, NoSuspendPinQuiet) {
+  // The pinned helper call is not a suspension point, and the honest pin
+  // audits as used.
+  std::vector<std::string> rules = RulesFiredOn("no_suspend_good.cc", "no_suspend_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, NoSuspendPinAudited) {
+  // A pin attached to nothing, a pin on a never-suspending declaration, and
+  // a pin over a literal co_await are each suppression-audit errors.
+  std::vector<std::string> rules = RulesFiredOn("no_suspend_bad.cc", "no_suspend_bad.cc");
+  EXPECT_EQ(CountRule(rules, "suppression-audit"), 3) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, MaySuspendPropagatesAcrossFiles) {
+  // A header-only Task declaration seeds the fixpoint; an out-of-line body
+  // in another file that calls it classifies may-suspend.
+  Linter linter;
+  linter.AddFile("s.h", "struct S {\n  sim::Task<void> Sync();\n  void Kick();\n  "
+                        "sim::Task<void> pending_;\n};\n");
+  linter.AddFile("s.cc", "void S::Kick() { pending_ = Sync(); }\n");
+  (void)linter.Run();
+  bool found = false;
+  for (const Function& f : linter.callgraph().functions()) {
+    if (f.qual == "S::Kick") {
+      found = true;
+      EXPECT_TRUE(f.may_suspend) << f.why;
+    }
+    if (f.qual == "S::Sync") {
+      EXPECT_TRUE(f.may_suspend) << f.why;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SnfslintTest, MixedCandidatesDoNotSuspend) {
+  // A bare name declared both as a may-suspend Task and as a visibly
+  // non-suspending body is an unresolvable textual overload: call sites
+  // stay quiet rather than tainting half the tree.
+  Linter linter;
+  linter.AddFile("a.h", "struct A { sim::Task<void> Run(); };\n");
+  linter.AddFile("b.h", "struct B { int Run() { return 1; } };\n");
+  (void)linter.Run();
+  EXPECT_FALSE(linter.callgraph().CallSuspends("", "Run"));
+  EXPECT_TRUE(linter.callgraph().CallSuspends("A", "Run"));
+  EXPECT_FALSE(linter.callgraph().CallSuspends("B", "Run"));
+}
+
 TEST(SnfslintTest, TraceSpanBalanceFires) {
   // A begin with no end, a co_return past an open span, and an early return
   // before the first end.

@@ -1,15 +1,20 @@
 // snfslint: project-specific static analysis for the Spritely NFS simulator.
 //
-// Usage: snfslint [--root DIR] [--format=gcc|json] [path...]
+// Usage: snfslint [--root DIR] [--format=gcc|json|sarif|suspend] [path...]
 //
 // Paths (files or directories, searched recursively for .h/.cc/.cpp/.hpp)
 // are taken relative to --root (default: current directory); with no paths,
 // `src` is linted. The default gcc format prints `file:line: rule-id:
 // message` lines (clickable in editors and CI logs); --format=json prints a
-// machine-readable array of {file, line, rule, message} objects. Either way
-// a per-rule count summary goes to stderr and the exit status is 1 when any
-// diagnostic is found. See tools/lint/lint.h for the rule list and the
-// `// lint: <rule>-ok` suppression syntax.
+// machine-readable array of {file, line, rule, message} objects;
+// --format=sarif prints a SARIF 2.1.0 log for GitHub code-scanning upload.
+// All three exit 1 when any diagnostic is found, with a per-rule count
+// summary on stderr. --format=suspend instead dumps the repo-wide
+// may-suspend classification — one `file:line: Qualified::Name: verdict
+// (reason)` line per known function — and always exits 0; it exists for
+// auditing the interprocedural fixpoint (see tools/lint/callgraph.h). See
+// tools/lint/lint.h for the rule list and the `// lint: <rule>-ok`
+// suppression syntax.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -17,6 +22,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "tools/lint/lint.h"
@@ -97,13 +103,14 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "gcc" && format != "json") {
-        std::fprintf(stderr, "snfslint: unknown format '%s' (expected gcc or json)\n",
+      if (format != "gcc" && format != "json" && format != "sarif" && format != "suspend") {
+        std::fprintf(stderr,
+                     "snfslint: unknown format '%s' (expected gcc, json, sarif, or suspend)\n",
                      format.c_str());
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: snfslint [--root DIR] [--format=gcc|json] [path...]\n");
+      std::printf("usage: snfslint [--root DIR] [--format=gcc|json|sarif|suspend] [path...]\n");
       return 0;
     } else {
       args.push_back(arg);
@@ -141,7 +148,56 @@ int main(int argc, char** argv) {
   }
 
   std::vector<lint::Diagnostic> diags = linter.Run();
-  if (format == "json") {
+  if (format == "suspend") {
+    // Classification dump: one line per known function, sorted for diffing.
+    std::vector<const lint::Function*> fns;
+    for (const lint::Function& f : linter.callgraph().functions()) {
+      fns.push_back(&f);
+    }
+    std::sort(fns.begin(), fns.end(), [](const lint::Function* a, const lint::Function* b) {
+      return std::tie(a->file, a->line, a->qual) < std::tie(b->file, b->line, b->qual);
+    });
+    for (const lint::Function* f : fns) {
+      std::printf("%s:%d: %s: %s%s%s%s\n", f->file.c_str(), f->line, f->qual.c_str(),
+                  f->may_suspend ? "may-suspend" : "no", f->why.empty() ? "" : " (",
+                  f->why.c_str(), f->why.empty() ? "" : ")");
+    }
+    return 0;
+  }
+  if (format == "sarif") {
+    // SARIF 2.1.0, the minimal shape GitHub code scanning accepts.
+    std::vector<std::string> rule_ids;
+    for (const lint::Diagnostic& d : diags) {
+      if (std::find(rule_ids.begin(), rule_ids.end(), d.rule) == rule_ids.end()) {
+        rule_ids.push_back(d.rule);
+      }
+    }
+    std::sort(rule_ids.begin(), rule_ids.end());
+    std::printf("{\n");
+    std::printf("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    std::printf("  \"version\": \"2.1.0\",\n");
+    std::printf("  \"runs\": [\n    {\n");
+    std::printf("      \"tool\": {\n        \"driver\": {\n");
+    std::printf("          \"name\": \"snfslint\",\n");
+    std::printf("          \"informationUri\": \"tools/lint/lint.h\",\n");
+    std::printf("          \"rules\": [");
+    for (size_t i = 0; i < rule_ids.size(); ++i) {
+      std::printf("%s\n            {\"id\": \"%s\"}", i == 0 ? "" : ",",
+                  JsonEscape(rule_ids[i]).c_str());
+    }
+    std::printf("%s]\n        }\n      },\n", rule_ids.empty() ? "" : "\n          ");
+    std::printf("      \"results\": [");
+    for (size_t i = 0; i < diags.size(); ++i) {
+      const lint::Diagnostic& d = diags[i];
+      std::printf("%s\n        {\"ruleId\": \"%s\", \"level\": \"error\", "
+                  "\"message\": {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": "
+                  "{\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": {\"startLine\": "
+                  "%d}}}]}",
+                  i == 0 ? "" : ",", JsonEscape(d.rule).c_str(), JsonEscape(d.message).c_str(),
+                  JsonEscape(d.file).c_str(), d.line);
+    }
+    std::printf("%s]\n    }\n  ]\n}\n", diags.empty() ? "" : "\n      ");
+  } else if (format == "json") {
     std::printf("[");
     for (size_t i = 0; i < diags.size(); ++i) {
       const lint::Diagnostic& d = diags[i];

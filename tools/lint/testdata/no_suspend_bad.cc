@@ -1,0 +1,24 @@
+// Fixture: every dishonest or dangling `// lint: no-suspend` annotation is
+// a suppression-audit error — one that pins no function, one that pins a
+// function that could never classify may-suspend, and one that tries to
+// waive a literal co_await.
+#include "src/sim/task.h"
+
+struct Worker {
+  sim::Task<void> Flush();
+  int counter_ = 0;
+};
+
+// fires suppression-audit: not attached to any function declaration.
+// lint: no-suspend
+static int kBatchLimit = 8;
+
+// fires suppression-audit: pins a plain declaration that was never going to
+// be classified may-suspend.
+int Tally(const Worker& w);  // lint: no-suspend
+
+// fires suppression-audit: a literal co_await cannot be waived.
+// lint: no-suspend
+sim::Task<void> PumpOnce(Worker& w) {
+  co_await w.Flush();
+}

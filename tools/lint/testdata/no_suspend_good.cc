@@ -1,0 +1,30 @@
+// Fixture: `// lint: no-suspend` on a declaration pins the function
+// non-suspending for the whole analysis — the call below would otherwise be
+// a suspension point via its Task-creating body — and the pin audits as
+// used, so suppression-audit stays quiet.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Scheduler {
+  Entry* Find(int key);  // unstable: returns a raw pointer
+  sim::Task<void> Flush();
+  // Posting only creates the lazy task; it first runs after the caller
+  // itself suspends, so holding handles across this call is safe.
+  void ScheduleFlush();  // lint: no-suspend
+  sim::Task<void> pending_;
+  std::map<int, Entry> entries_;
+};
+
+void Scheduler::ScheduleFlush() { pending_ = Flush(); }
+
+sim::Task<int> HoldAcrossPinnedCall(Scheduler& sched) {
+  co_await sched.Flush();
+  Entry* e = sched.Find(1);
+  sched.ScheduleFlush();  // pinned: not a suspension point
+  co_return e->value;     // quiet
+}

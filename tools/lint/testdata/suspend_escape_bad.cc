@@ -1,0 +1,36 @@
+// Fixture: suspend-escape must fire when a tracked pointer, iterator, or
+// reference from an unstable source is passed as a whole argument into a
+// may-suspend callee — the callee can hold it across its own suspension
+// while another coroutine invalidates it, which neither side's per-function
+// analysis can see.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Table {
+  Entry* Find(int key);         // unstable: returns a raw pointer
+  Entry& GetOrCreate(int key);  // lint: unstable-source
+  sim::Task<void> Consume(Entry* e);
+  sim::Task<void> Erase(std::map<int, Entry>::iterator it);
+  sim::Task<void> Borrow(Entry& e);
+  std::map<int, Entry> entries_;
+};
+
+sim::Task<void> PointerIntoSuspendingCallee(Table& table) {
+  Entry* e = table.Find(1);
+  co_await table.Consume(e);  // fires suspend-escape
+}
+
+sim::Task<void> IteratorIntoSuspendingCallee(Table& table) {
+  auto it = table.entries_.find(1);
+  co_await table.Erase(it);  // fires suspend-escape
+}
+
+sim::Task<void> RefIntoSuspendingCallee(Table& table) {
+  Entry& e = table.GetOrCreate(1);
+  co_await table.Borrow(e);  // fires suspend-escape
+}

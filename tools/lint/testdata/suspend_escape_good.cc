@@ -1,0 +1,43 @@
+// Fixture: suspend-escape must stay quiet for value reads through the
+// handle in the argument list, for callees the call graph cannot show to
+// suspend, and for an audited handoff waived at the escape site.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Table {
+  Entry* Find(int key);  // unstable: returns a raw pointer
+  int Peek(Entry* e);    // plain declaration: never shown to suspend
+  sim::Task<void> Record(int value);
+  sim::Task<void> Consume(Entry* e);
+  std::map<int, Entry> entries_;
+};
+
+// Reading a value *through* the handle inside the argument list is a
+// pre-suspension read, not an escape.
+sim::Task<void> ValueReadIntoCallee(Table& table) {
+  Entry* e = table.Find(1);
+  co_await table.Record(e->value);  // quiet
+}
+
+// Passing the handle to a function with no call-graph evidence of
+// suspension stays quiet (conservative, matching the statement rules).
+sim::Task<void> PointerIntoOpaqueCallee(Table& table) {
+  co_await table.Record(0);
+  Entry* e = table.Find(1);
+  int n = table.Peek(e);  // quiet: Peek cannot be shown to suspend
+  co_await table.Record(n);
+}
+
+// An audited handoff: the suppression on the escape line is honored (and
+// counted by suppression-audit as used).
+sim::Task<void> AuditedHandoff(Table& table) {
+  Entry* e = table.Find(1);
+  // The callee reads the entry before its first suspension only.
+  // lint: suspend-escape-ok
+  co_await table.Consume(e);  // quiet: waived
+}

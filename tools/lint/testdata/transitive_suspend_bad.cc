@@ -1,0 +1,39 @@
+// Fixture: the flow rules must treat a call to a *transitively* may-suspend
+// function as a suspension point. Nothing in the victim functions spells
+// co_await next to the hazard: the suspension is two call-graph hops away
+// (Settle -> Drain -> Sync, where Sync is a Task-returning declaration with
+// no visible body and therefore conservatively suspends).
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Store {
+  Entry* Find(int key);    // unstable: returns a raw pointer
+  sim::Task<void> Sync();  // no body anywhere: conservatively suspends
+  void Drain() { pending_ = Sync(); }  // hop 1: calls Sync
+  void Settle() { Drain(); }           // hop 2: calls Drain
+  sim::Task<void> pending_;
+  std::map<int, Entry> entries_;
+};
+
+sim::Task<int> PointerAcrossHelper(Store& store) {
+  Entry* e = store.Find(1);
+  store.Settle();      // a suspension point via the two-hop call chain
+  co_return e->value;  // fires await-stale-ref
+}
+
+struct Batcher {
+  sim::Task<int> CountAfterSettle() {
+    bool had_any = !store_.entries_.empty();
+    store_.Settle();  // may-suspend: the snapshot can go stale
+    if (had_any) {    // fires await-cached-size
+      co_return 1;
+    }
+    co_return 0;
+  }
+  Store store_;
+};

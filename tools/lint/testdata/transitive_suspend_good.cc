@@ -1,0 +1,52 @@
+// Fixture: the interprocedural suspension rules must stay quiet when the
+// called helper provably cannot suspend (its body is visible and contains no
+// suspension point), and when the caller uses one of the idiomatic repairs
+// around a genuinely may-suspend helper call.
+#include <map>
+
+#include "src/sim/task.h"
+
+struct Entry {
+  int value;
+};
+
+struct Store {
+  Entry* Find(int key);    // unstable: returns a raw pointer
+  sim::Task<void> Sync();  // no body anywhere: conservatively suspends
+  void Drain() { pending_ = Sync(); }
+  void Settle() { Drain(); }
+  int Tally() {
+    int total = 0;
+    for (auto& [key, entry] : entries_) {
+      total += entry.value;
+    }
+    return total;
+  }
+  sim::Task<void> pending_;
+  std::map<int, Entry> entries_;
+};
+
+// A call to a function whose visible body cannot suspend is not a
+// suspension point.
+sim::Task<int> PointerAcrossNonSuspendingCall(Store& store) {
+  co_await store.Sync();
+  Entry* e = store.Find(1);
+  int total = store.Tally();   // quiet: Tally's body has no suspensions
+  co_return e->value + total;  // quiet: still fresh
+}
+
+// Re-acquiring after the may-suspend helper call is one fix.
+sim::Task<int> ReacquireAfterHelper(Store& store) {
+  Entry* e = store.Find(1);
+  store.Settle();
+  e = store.Find(1);
+  co_return e->value;  // quiet: re-acquired
+}
+
+// Copying the needed value before the helper call is the other fix.
+sim::Task<int> CopyBeforeHelper(Store& store) {
+  Entry* e = store.Find(1);
+  int value = e->value;
+  store.Settle();
+  co_return value;  // quiet: plain int copy
+}
