@@ -1,5 +1,5 @@
 // Fault matrix: the seed-sweep driver run across a grid of fault mixes and
-// both remote protocols, reporting aggregate recovery behaviour. Every
+// all three remote protocols, reporting aggregate recovery behaviour. Every
 // (mix, protocol) cell runs the same two-client read/write workload under
 // N seeds, asserting the protocol invariants (data-integrity oracle,
 // duplicate-cache bound, state-table invariants, no ghost replies) and
@@ -151,10 +151,14 @@ int main(int argc, char** argv) {
                "retrans/seed", "dup supp/seed", "stale dropped"});
   bool all_ok = true;
   for (const Mix& mix : FaultMixes()) {
-    for (ServerProtocol protocol : {ServerProtocol::kNfs, ServerProtocol::kSnfs}) {
+    for (ServerProtocol protocol :
+         {ServerProtocol::kNfs, ServerProtocol::kSnfs, ServerProtocol::kNqnfs}) {
       CellResult cell = RunCell(mix, protocol);
       all_ok = all_ok && cell.ok;
-      table.AddRow({mix.name, protocol == ServerProtocol::kNfs ? "NFS" : "SNFS",
+      table.AddRow({mix.name,
+                    protocol == ServerProtocol::kNfs
+                        ? "NFS"
+                        : protocol == ServerProtocol::kSnfs ? "SNFS" : "NQNFS",
                     cell.ok ? "yes" : "NO: " + cell.detail, Table::Num(cell.ops_ok, 0),
                     cell.recovery_s >= 0 ? Table::Seconds(cell.recovery_s) : "-",
                     Table::Num(cell.retrans, 1), Table::Num(cell.dup_suppressed, 1),

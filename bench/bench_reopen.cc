@@ -9,8 +9,9 @@
 //
 // We run write-close-reopen-read for: NFS with the invalidate-on-close bug
 // (the paper's Ultrix client), NFS without it (the fixed reference port),
-// and SNFS. The read-same vs read-different comparison shows the write-
-// through cost dwarfing the reread cost under NFS, while SNFS avoids both.
+// SNFS, and NQNFS. The read-same vs read-different comparison shows the
+// write-through cost dwarfing the reread cost under NFS, while SNFS and
+// NQNFS avoid both (delayed writes under an open grant / a write lease).
 #include <cstdio>
 
 #include "src/metrics/table.h"
@@ -97,6 +98,7 @@ int main() {
   ReopenResult nfs_bug = RunCase(Protocol::kNfs, /*invalidate_on_close=*/true);
   ReopenResult nfs_fixed = RunCase(Protocol::kNfs, /*invalidate_on_close=*/false);
   ReopenResult snfs = RunCase(Protocol::kSnfs, true);
+  ReopenResult nqnfs = RunCase(Protocol::kNqnfs, true);
 
   Table t({"Client", "write+close", "reread same", "read other", "read RPCs"});
   t.AddRow({"NFS (Ultrix bug)", Table::Seconds(nfs_bug.write_close_s),
@@ -107,6 +109,8 @@ int main() {
             Table::Int(nfs_fixed.read_rpcs)});
   t.AddRow({"SNFS", Table::Seconds(snfs.write_close_s), Table::Seconds(snfs.reread_same_s),
             Table::Seconds(snfs.reread_other_s), Table::Int(snfs.read_rpcs)});
+  t.AddRow({"NQNFS", Table::Seconds(nqnfs.write_close_s), Table::Seconds(nqnfs.reread_same_s),
+            Table::Seconds(nqnfs.reread_other_s), Table::Int(nqnfs.read_rpcs)});
   t.Print();
 
   std::printf("\n=== Shape checks against the paper ===\n");
@@ -125,5 +129,11 @@ int main() {
                   snfs.write_close_s / nfs_bug.write_close_s, 0.0, 0.2);
   PrintShapeCheck("SNFS reread read-RPC count (cache valid, ==0)",
                   static_cast<double>(snfs.read_rpcs), 0.0, 0.5);
+  // NQNFS writes are delayed under a write lease, like SNFS — and the
+  // reread is served from cache under the same (extended) lease.
+  PrintShapeCheck("NQNFS write-close / NFS write-close (delayed, <0.2)",
+                  nqnfs.write_close_s / nfs_bug.write_close_s, 0.0, 0.2);
+  PrintShapeCheck("NQNFS reread read-RPC count (lease live, ==0)",
+                  static_cast<double>(nqnfs.read_rpcs), 0.0, 0.5);
   return 0;
 }

@@ -1,6 +1,7 @@
 // Reproduces paper Table 5-3 (sort benchmark elapsed time for three input
 // sizes with /usr/tmp local, NFS, and SNFS) and Table 5-4 (RPC calls for
-// the 2816 KB input).
+// the 2816 KB input), with an NQNFS column alongside: leases should match
+// SNFS's delayed-write win without any open/close RPC traffic at all.
 //
 // Paper values (Table 5-3, elapsed seconds):
 //   input 281 k  (temp  304 k):  local  4   NFS   8    SNFS   4
@@ -40,31 +41,37 @@ int main(int argc, char** argv) {
   SortRun local[3];
   SortRun nfs[3];
   SortRun snfs[3];
+  SortRun nqnfs[3];
 
-  Table t3({"File size", "Temp storage", "local /usr/tmp", "NFS /usr/tmp", "SNFS /usr/tmp"});
+  Table t3({"File size", "Temp storage", "local /usr/tmp", "NFS /usr/tmp", "SNFS /usr/tmp",
+            "NQNFS /usr/tmp"});
   for (int i = 0; i < 3; ++i) {
     local[i] = RunSortConfig(Protocol::kLocal, kSizes[i], true, 1280, {}, traced);
     nfs[i] = RunSortConfig(Protocol::kNfs, kSizes[i], true, 1280, {}, traced);
     snfs[i] = RunSortConfig(Protocol::kSnfs, kSizes[i], true, 1280, {}, traced);
+    nqnfs[i] = RunSortConfig(Protocol::kNqnfs, kSizes[i], true, 1280, {}, traced);
     t3.AddRow({Table::Int(kSizes[i] / 1024) + " k",
                Table::Int(local[i].report.temp_bytes_written / 1024) + " k",
                Table::Seconds(sim::ToSeconds(local[i].report.elapsed)),
                Table::Seconds(sim::ToSeconds(nfs[i].report.elapsed)),
-               Table::Seconds(sim::ToSeconds(snfs[i].report.elapsed))});
+               Table::Seconds(sim::ToSeconds(snfs[i].report.elapsed)),
+               Table::Seconds(sim::ToSeconds(nqnfs[i].report.elapsed))});
   }
   t3.Print();
 
   std::printf("\n=== Table 5-4: RPC calls for Sort benchmark (2816 kB input) ===\n\n");
-  Table t4({"Operation", "NFS", "SNFS"});
+  Table t4({"Operation", "NFS", "SNFS", "NQNFS"});
   const proto::OpKind kRows[] = {proto::OpKind::kLookup, proto::OpKind::kGetAttr,
                                  proto::OpKind::kRead,   proto::OpKind::kWrite,
                                  proto::OpKind::kOpen,   proto::OpKind::kClose,
+                                 proto::OpKind::kGetLease,
                                  proto::OpKind::kCreate, proto::OpKind::kRemove};
   for (proto::OpKind kind : kRows) {
     t4.AddRow({std::string(proto::OpKindName(kind)), Table::Int(nfs[2].rpcs.Get(kind)),
-               Table::Int(snfs[2].rpcs.Get(kind))});
+               Table::Int(snfs[2].rpcs.Get(kind)), Table::Int(nqnfs[2].rpcs.Get(kind))});
   }
-  t4.AddRow({"total", Table::Int(nfs[2].rpcs.Total()), Table::Int(snfs[2].rpcs.Total())});
+  t4.AddRow({"total", Table::Int(nfs[2].rpcs.Total()), Table::Int(snfs[2].rpcs.Total()),
+             Table::Int(nqnfs[2].rpcs.Total())});
   t4.Print();
 
   std::printf("\nClient CPU utilization (2816k): NFS %.0f%%, SNFS %.0f%% "
@@ -115,6 +122,20 @@ int main(int argc, char** argv) {
   double cpu_shape = snfs[2].client_cpu_utilization - nfs[2].client_cpu_utilization;
   PrintShapeCheck("SNFS minus NFS client CPU utilization (paper: positive)", cpu_shape, 0.01,
                   1.0);
+  // NQNFS: same delayed-write regime as SNFS, so elapsed time lands in the
+  // same band — with no open/close traffic and only a handful of lease RPCs.
+  PrintShapeCheck("NQNFS/SNFS elapsed, 2816k (leases match grants, ~1.0)",
+                  Ratio(sim::ToSeconds(nqnfs[2].report.elapsed),
+                        sim::ToSeconds(snfs[2].report.elapsed)),
+                  0.7, 1.3);
+  PrintShapeCheck("NQNFS/NFS total RPCs, 2816k (fewer, like SNFS)",
+                  Ratio(static_cast<double>(nqnfs[2].rpcs.Total()),
+                        static_cast<double>(nfs[2].rpcs.Total())),
+                  0.15, 0.80);
+  PrintShapeCheck("NQNFS open+close RPCs, 2816k (no such RPCs, ==0)",
+                  static_cast<double>(nqnfs[2].rpcs.Get(proto::OpKind::kOpen) +
+                                      nqnfs[2].rpcs.Get(proto::OpKind::kClose)),
+                  0.0, 0.5);
 
   if (traced) {
     bench::PrintLatencyTable("=== RPC latency from rpc.call spans, NFS 2816k ===",
@@ -129,6 +150,7 @@ int main(int argc, char** argv) {
       configs.emplace_back(std::string("local_") + kSizeNames[i], bench::SortRunJson(local[i]));
       configs.emplace_back(std::string("nfs_") + kSizeNames[i], bench::SortRunJson(nfs[i]));
       configs.emplace_back(std::string("snfs_") + kSizeNames[i], bench::SortRunJson(snfs[i]));
+      configs.emplace_back(std::string("nqnfs_") + kSizeNames[i], bench::SortRunJson(nqnfs[i]));
     }
     bench::WriteBenchJson(flags.json_path, "sort", configs);
     std::printf("\nwrote %s\n", flags.json_path.c_str());

@@ -34,17 +34,19 @@ if [ "$lint_ms" -gt 10000 ]; then
 fi
 
 echo "== trace checker: one fault-sweep seed with causal-trace validation =="
-# Records every cell of the sweep and runs the stale-read / concurrent-dirty /
-# retransmit-once checker over the trace; any violation aborts the cell.
+# Records every cell of the sweep — all five fault profiles by all three
+# protocols (NFS, SNFS, NQNFS) — and runs the stale-read / concurrent-dirty /
+# retransmit-once / lease-invariant checker over the trace; any violation
+# aborts the cell.
 ./build/bench/bench_fault_sweep --trace-check --seeds=1 >/dev/null
 
 echo "== simperf smoke: simulator hot path still runs all four loads =="
 ./build/bench/bench_simperf --smoke >/dev/null
 
 echo "== calibrated benches: byte-identical to pinned baselines =="
-# The event-queue rewrite (DESIGN.md §9) must never move a calibrated
-# number: deterministic bench output — elapsed times, RPC matrices, trace
-# checksums — is diffed against pre-rewrite goldens. The final "wrote
+# Deterministic bench output — elapsed times, three-way (NFS/SNFS/NQNFS)
+# RPC matrices, trace checksums — must never move unnoticed: it is diffed
+# byte-for-byte against the pinned goldens. The final "wrote
 # <path>" stdout line echoes the --json argument and is excluded.
 baseline_tmp=$(mktemp -d)
 trap 'rm -rf "$baseline_tmp"' EXIT
@@ -73,7 +75,7 @@ cmake --preset asan
 # a suspended create/read, lease expiry mid-upgrade): their bugs only show
 # as use-after-free, so they run under the sanitizers too.
 cmake --build build-asan -j --target fault_injection_test rpc_test recovery_test \
-  fs_test hybrid_test
+  fs_test hybrid_test nqnfs_test
 # Leak detection stays off: coroutine frames still suspended when a Simulator
 # is torn down are reported as leaks. This is a pre-existing, codebase-wide
 # pattern (the seed's sim_test reports the same under ASan); ASan/UBSan still
@@ -84,5 +86,8 @@ export ASAN_OPTIONS=detect_leaks=0
 ./build-asan/tests/fault_injection_test
 ./build-asan/tests/fs_test
 ./build-asan/tests/hybrid_test
+# NQNFS lease expiry races whole-file flushes and vacate callbacks race
+# crashes: one more place lifetime bugs only show as use-after-free.
+./build-asan/tests/nqnfs_test
 
 echo "All checks passed."

@@ -73,7 +73,7 @@ sim::Task<void> BufferCache::SyncDaemon() {
         }
         std::vector<uint8_t> data = it->second.data;
         MarkClean(key, it->second);
-        co_await StoreBlock(key, std::move(data));
+        (void)co_await StoreBlock(key, std::move(data));
       }
     }
   }
@@ -194,7 +194,7 @@ void BufferCache::FinishStore(const Key& key) {
 }
 
 // Registered store: the caller already called RegisterStore(key).
-sim::Task<void> BufferCache::PerformStore(Key key, std::vector<uint8_t> data) {
+sim::Task<bool> BufferCache::PerformStore(Key key, std::vector<uint8_t> data) {
   ++stats_.writebacks;
   trace::Span store_span;
   if (trace::Active() != nullptr) {
@@ -211,11 +211,12 @@ sim::Task<void> BufferCache::PerformStore(Key key, std::vector<uint8_t> data) {
               static_cast<unsigned long long>(key.fileid),
               static_cast<unsigned long long>(key.block), std::string(result.status().name()).c_str());
   }
+  co_return result.ok();
 }
 
 // Unregistered store: waits out any in-flight store of the same block
 // (the block was re-dirtied and re-cleaned), then registers and performs.
-sim::Task<void> BufferCache::StoreBlock(Key key, std::vector<uint8_t> data) {
+sim::Task<bool> BufferCache::StoreBlock(Key key, std::vector<uint8_t> data) {
   while (true) {
     auto it = in_flight_stores_.find(key);
     if (it == in_flight_stores_.end()) {
@@ -225,11 +226,11 @@ sim::Task<void> BufferCache::StoreBlock(Key key, std::vector<uint8_t> data) {
     co_await prior;
   }
   RegisterStore(key);
-  co_await PerformStore(key, std::move(data));
+  co_return co_await PerformStore(key, std::move(data));
 }
 
 sim::Task<void> BufferCache::AsyncStore(Key key, std::vector<uint8_t> data) {
-  co_await PerformStore(key, std::move(data));
+  (void)co_await PerformStore(key, std::move(data));
   flush_behind_.Release();
 }
 
@@ -461,28 +462,40 @@ void BufferCache::InsertClean(int mount, uint64_t fileid, uint64_t offset,
   }
 }
 
-sim::Task<base::Result<void>> BufferCache::FlushFile(int mount, uint64_t fileid) {
+sim::Task<base::Result<void>> BufferCache::FlushFile(int mount, uint64_t fileid,
+                                                     uint64_t max_blocks) {
   FileKey fk{mount, fileid};
   sim::Mutex* gate = nullptr;
   if (params_.flush_blocks_writers && HasDirty(mount, fileid)) {
     gate = &FileGate(fk);
     co_await gate->Acquire();
   }
-  while (true) {
+  uint64_t flushed = 0;
+  bool all_stored = true;
+  while (max_blocks == 0 || flushed < max_blocks) {
     auto it = dirty_blocks_.find(fk);
     if (it == dirty_blocks_.end() || it->second.empty()) {
       break;
     }
+    ++flushed;
     uint64_t block = *it->second.begin();
     Key key{mount, fileid, block};
     auto eit = entries_.find(key);
     CHECK(eit != entries_.end());
     std::vector<uint8_t> data = eit->second.data;
     MarkClean(key, eit->second);
-    co_await StoreBlock(key, std::move(data));
+    if (!co_await StoreBlock(key, std::move(data))) {
+      all_stored = false;
+    }
   }
   if (gate != nullptr) {
     gate->Release();
+  }
+  // A failed store leaves the block clean in the cache but absent from the
+  // backing store; callers using FlushFile as a durability barrier (NQNFS
+  // fsync, SNFS close) must see the failure, not a silent OK.
+  if (!all_stored) {
+    co_return base::ErrIo();
   }
   co_return base::OkStatus();
 }

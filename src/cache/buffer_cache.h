@@ -124,8 +124,11 @@ class BufferCache {
   // path: the RPC carried the data; keep a copy for subsequent reads).
   void InsertClean(int mount, uint64_t fileid, uint64_t offset, const std::vector<uint8_t>& data);
 
-  // Write all of one file's dirty blocks to the backing store.
-  sim::Task<base::Result<void>> FlushFile(int mount, uint64_t fileid);
+  // Write the file's dirty blocks (lowest-numbered first) to the backing
+  // store; with `max_blocks` > 0, stop after that many. Fails if any store
+  // was rejected by the backing (the block stays clean but undurable, so
+  // durability barriers must surface the error).
+  sim::Task<base::Result<void>> FlushFile(int mount, uint64_t fileid, uint64_t max_blocks = 0);
 
   // Write every dirty block (sync daemon body; also usable at shutdown).
   sim::Task<void> FlushAll();
@@ -197,8 +200,9 @@ class BufferCache {
   // write a block back, or a concurrent fetch could read stale backing data.
   void RegisterStore(const Key& key);
   void FinishStore(const Key& key);
-  sim::Task<void> PerformStore(Key key, std::vector<uint8_t> data);
-  sim::Task<void> StoreBlock(Key key, std::vector<uint8_t> data);
+  // Both return whether the backing store accepted the block.
+  sim::Task<bool> PerformStore(Key key, std::vector<uint8_t> data);
+  sim::Task<bool> StoreBlock(Key key, std::vector<uint8_t> data);
   sim::Task<base::Result<void>> FetchInto(Key key, uint64_t file_size);
   sim::Mutex& FileGate(const FileKey& fk);
 

@@ -94,6 +94,12 @@ sim::Task<void> ClientWorkload(sim::Simulator& simulator, SeedRun& run,
     vfs::Vfs& vfs = machine.vfs();
     ++run.stats.ops_attempted;
     bool ok = false;
+    // If the machine crashes while this op is in flight, the coroutine
+    // still runs to completion against the reset client, but the process
+    // that issued the op died with the kernel: whatever the op reports is
+    // void. In particular an Fsync that "succeeds" against the freshly
+    // dropped cache (nothing left dirty) must not count as a commit.
+    int gen = machine.crash_generation();
 
     if (oracle.written_max < 255 && rng.Bernoulli(0.5)) {
       // Write the next version as a uniform one-block fill. No truncate on
@@ -109,13 +115,14 @@ sim::Task<void> ClientWorkload(sim::Simulator& simulator, SeedRun& run,
         bool committed = false;
         if (wrote.ok() && do_fsync) {
           auto synced = co_await vfs.Fsync(*fd);
-          if (synced.ok()) {
+          if (synced.ok() && machine.crash_generation() == gen) {
             oracle.committed = version;
             committed = true;
           }
         }
         auto closed = co_await vfs.Close(*fd);
-        ok = wrote.ok() && closed.ok() && (!do_fsync || committed);
+        ok = wrote.ok() && closed.ok() && (!do_fsync || committed) &&
+             machine.crash_generation() == gen;
       }
     } else {
       uint64_t committed_before = oracle.committed;
@@ -123,7 +130,7 @@ sim::Task<void> ClientWorkload(sim::Simulator& simulator, SeedRun& run,
       if (fd.ok()) {
         auto data = co_await vfs.Pread(*fd, 0, cache::kBlockSize);
         (void)co_await vfs.Close(*fd);
-        if (data.ok()) {
+        if (data.ok() && machine.crash_generation() == gen) {
           ok = true;
           ++run.stats.reads_verified;
           VerifyBlock(run, *data, committed_before, oracle, path);
@@ -242,10 +249,16 @@ SeedStats RunFaultSeed(const SweepOptions& options, uint64_t seed) {
     client->Start();
   }
   for (auto& client : clients) {
-    if (options.protocol == testbed::ServerProtocol::kNfs) {
-      client->MountNfs("/data", server.address(), server.root(), options.nfs);
-    } else {
-      client->MountSnfs("/data", server.address(), server.root(), options.snfs);
+    switch (options.protocol) {
+      case testbed::ServerProtocol::kNfs:
+        client->MountNfs("/data", server.address(), server.root(), options.nfs);
+        break;
+      case testbed::ServerProtocol::kSnfs:
+        client->MountSnfs("/data", server.address(), server.root(), options.snfs);
+        break;
+      case testbed::ServerProtocol::kNqnfs:
+        client->MountNqnfs("/data", server.address(), server.root(), options.nqnfs);
+        break;
     }
   }
 

@@ -25,6 +25,7 @@
 #include "src/fault/schedule.h"
 #include "src/net/network.h"
 #include "src/nfs/client.h"
+#include "src/nqnfs/client.h"
 #include "src/sim/time.h"
 #include "src/snfs/client.h"
 #include "src/testbed/machine.h"
@@ -50,6 +51,7 @@ struct SweepOptions {
   testbed::ClientMachineParams client;
   nfs::NfsClientParams nfs;
   snfs::SnfsClientParams snfs;
+  nqnfs::NqnfsClientParams nqnfs;
 
   // Record a causal trace of the whole run and validate it with
   // trace::CheckTrace; violations fail the seed like any other invariant.

@@ -1,0 +1,563 @@
+#include "src/nqnfs/client.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/base/log.h"
+#include "src/trace/trace.h"
+
+namespace nqnfs {
+
+using cache::kBlockSize;
+
+NqnfsClient::NqnfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address server,
+                         proto::FileHandle root_fh, cache::BufferCache& cache,
+                         NqnfsClientParams params)
+    : simulator_(simulator),
+      peer_(peer),
+      server_(server),
+      root_fh_(root_fh),
+      cache_(cache),
+      params_(params) {
+  cache::Backing backing;
+  backing.fetch = [this](uint64_t fileid, uint64_t block)
+      -> sim::Task<base::Result<std::vector<uint8_t>>> {
+    auto it = nodes_.find(fileid);
+    if (it == nodes_.end()) {
+      co_return base::ErrStale();
+    }
+    proto::ReadReq req;
+    req.fh = it->second->fh;
+    req.offset = block * kBlockSize;
+    req.count = kBlockSize;
+    auto rep = rpc::Expect<proto::ReadRep>(co_await Call(proto::Request(req)));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    co_return std::move(rep->data);
+  };
+  backing.store = [this](uint64_t fileid, uint64_t block,
+                         std::vector<uint8_t> data) -> sim::Task<base::Result<void>> {
+    auto it = nodes_.find(fileid);
+    if (it == nodes_.end()) {
+      co_return base::ErrStale();
+    }
+    proto::WriteReq req;
+    req.fh = it->second->fh;
+    req.offset = block * kBlockSize;
+    req.data = std::move(data);
+    auto rep = rpc::Expect<proto::AttrRep>(co_await Call(proto::Request(req)));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    co_return base::OkStatus();
+  };
+  // Attribute this mount's dirty-state transitions to the NQNFS protocol on
+  // this host, so the trace checker can enforce single-writer caching.
+  backing.trace_name = "nqnfs";
+  backing.trace_machine = peer_.address().host;
+  mount_id_ = cache_.RegisterMount(std::move(backing));
+}
+
+void NqnfsClient::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++daemon_generation_;
+  simulator_.Spawn(ExpiryDaemon(daemon_generation_));
+}
+
+void NqnfsClient::Stop() { running_ = false; }
+
+void NqnfsClient::Reset() {
+  // Workload code may hold GnodeRefs across a crash; unlike SNFS (where the
+  // server holds the authority), an NQNFS node's lease_expires IS the
+  // client's licence to serve cached data, so it must not survive a reboot.
+  for (auto& [fileid, node] : nodes_) {  // lint: ordered-ok (independent field resets)
+    node->lease_expires = 0;
+    node->lease_write = false;
+    node->have_cached_data = false;
+    node->retry_grant_after = 0;
+  }
+  nodes_.clear();
+}
+
+NqnfsClient::NodeRef NqnfsClient::AsNode(const vfs::GnodeRef& node) {
+  return std::static_pointer_cast<NqnfsNode>(node);
+}
+
+NqnfsClient::NodeRef NqnfsClient::Intern(const proto::FileHandle& fh, const proto::Attr& attr) {
+  auto it = nodes_.find(fh.fileid);
+  if (it != nodes_.end() && it->second->fh == fh) {
+    // Attributes for files we hold dirty data on are locally authoritative.
+    if (!cache_.HasDirty(mount_id_, fh.fileid)) {
+      proto::Attr merged = attr;
+      merged.size = std::max(merged.size, it->second->attr.size);
+      it->second->attr = merged;
+    }
+    return it->second;
+  }
+  auto node = std::make_shared<NqnfsNode>();
+  node->fh = fh;
+  node->attr = attr;
+  nodes_[fh.fileid] = node;
+  return node;
+}
+
+// --- lease machinery ---------------------------------------------------------
+
+sim::Task<base::Result<proto::Reply>> NqnfsClient::Call(proto::Request request) {
+  auto reply = co_await peer_.Call(server_, std::move(request));
+  if (reply.ok()) {
+    ApplyExtension(*reply);
+  }
+  co_return reply;
+}
+
+void NqnfsClient::ApplyExtension(const proto::Reply& reply) {
+  if (reply.lease_file == 0) {
+    return;
+  }
+  auto it = nodes_.find(reply.lease_file);
+  if (it == nodes_.end()) {
+    return;
+  }
+  NodeRef node = it->second;
+  // Only a still-live lease can be extended: a vacate or local expiry that
+  // raced this reply wins.
+  if (node->lease_expires != 0 && reply.lease_expires > node->lease_expires) {
+    node->lease_expires = reply.lease_expires;
+    TRACE_INSTANT("nqnfs.lease_extend", peer_.address().host,
+                  "file=" + std::to_string(reply.lease_file) +
+                      " expires=" + std::to_string(reply.lease_expires));
+  }
+}
+
+void NqnfsClient::DropLease(NodeRef node, const char* reason) {
+  if (node->lease_expires == 0) {
+    return;
+  }
+  node->lease_expires = 0;
+  node->lease_write = false;
+  TRACE_INSTANT("nqnfs.lease_end", peer_.address().host,
+                "file=" + std::to_string(node->fh.fileid) + " reason=" + reason);
+}
+
+sim::Task<void> NqnfsClient::EnsureLease(NodeRef node, bool write) {
+  sim::Time now = simulator_.Now();
+  if (node->lease_expires > now && (node->lease_write || !write)) {
+    co_return;  // live lease already covers this access mode
+  }
+  if (now < node->retry_grant_after) {
+    co_return;  // recently denied; run uncached instead of hammering the server
+  }
+  if (cache_.HasDirty(mount_id_, node->fh.fileid)) {
+    // The lease lapsed with dirty blocks the expiry daemon has not pushed
+    // out yet. Flush first — as leaseless write-throughs the server bumps
+    // the version for, so no other cache can miss them — before asking for
+    // a fresh grant.
+    (void)co_await cache_.FlushFile(mount_id_, node->fh.fileid);
+  }
+
+  proto::GetLeaseReq req;
+  req.fh = node->fh;
+  req.write_mode = write;
+  auto rep = rpc::Expect<proto::GetLeaseRep>(co_await Call(proto::Request(req)));
+  now = simulator_.Now();
+  if (!rep.ok()) {
+    node->retry_grant_after = now + params_.denied_retry;
+    co_return;
+  }
+  if (!rep->granted) {
+    // Server quiet window: run uncached until it closes. The denial also
+    // proves the server rebooted and lost its lease table — it can no
+    // longer vacate us — so any lease a previous incarnation granted on
+    // this file is unenforceable and must not license cached service.
+    ++grants_denied_seen_;
+    DropLease(node, "denied");
+    node->retry_grant_after = std::max(rep->retry_after, now + params_.denied_retry);
+    if (node->have_cached_data) {
+      cache_.InvalidateFile(mount_id_, node->fh.fileid);
+      node->have_cached_data = false;
+      TRACE_INSTANT("nqnfs.invalidated", peer_.address().host,
+                    "file=" + std::to_string(node->fh.fileid) + " reason=denied");
+    }
+    if (!cache_.HasDirty(mount_id_, node->fh.fileid)) {
+      node->attr = rep->attr;
+    }
+    co_return;
+  }
+
+  // Cache validation, exactly as an SNFS open (§3.1): cached blocks are
+  // good if they match the latest version or the previous one. The server
+  // reports a distinct prev_version only when a cache at that version on
+  // this host is known coherent: a write grant's own pessimistic bump, or
+  // a version bump caused by this host's leaseless write-through burst.
+  bool cache_valid = node->have_cached_data &&
+                     (node->cached_version == rep->version ||
+                      node->cached_version == rep->prev_version);
+  if (node->have_cached_data && !cache_valid) {
+    cache_.InvalidateFile(mount_id_, node->fh.fileid);
+    node->have_cached_data = false;
+    TRACE_INSTANT("nqnfs.invalidated", peer_.address().host,
+                  "file=" + std::to_string(node->fh.fileid) + " reason=version");
+  }
+  node->cached_version = rep->version;
+  node->lease_write = write;
+  node->lease_expires = rep->expires;
+  node->retry_grant_after = 0;
+  node->possibly_inconsistent = rep->possibly_inconsistent;
+  if (rep->possibly_inconsistent) {
+    ++inconsistent_grants_;
+  }
+  // The grant carries attributes, replacing NFS's open-time getattr.
+  if (!cache_.HasDirty(mount_id_, node->fh.fileid)) {
+    node->attr = rep->attr;
+  }
+  ++leases_acquired_;
+  TRACE_INSTANT("nqnfs.lease_grant", peer_.address().host,
+                "file=" + std::to_string(node->fh.fileid) +
+                    " version=" + std::to_string(rep->version) +
+                    " write=" + (write ? "1" : "0") +
+                    " expires=" + std::to_string(rep->expires));
+}
+
+sim::Task<void> NqnfsClient::ExpiryDaemon(uint64_t generation) {
+  while (running_ && generation == daemon_generation_) {
+    co_await sim::Sleep(simulator_, params_.lease_scan, /*background=*/true);
+    if (!running_ || generation != daemon_generation_) {
+      break;
+    }
+    // Flushes are awaited RPCs, so walk in fileid order to keep the event
+    // queue independent of hash order.
+    std::vector<uint64_t> fileids;
+    fileids.reserve(nodes_.size());
+    for (const auto& [fileid, node] : nodes_) {  // lint: ordered-ok (sorted below)
+      fileids.push_back(fileid);
+    }
+    std::sort(fileids.begin(), fileids.end());
+    for (uint64_t fileid : fileids) {
+      auto it = nodes_.find(fileid);
+      if (it == nodes_.end()) {
+        continue;  // removed while an earlier flush was in flight
+      }
+      NodeRef node = it->second;  // hold a ref: awaits below may mutate nodes_
+      if (node->lease_expires == 0) {
+        continue;
+      }
+      sim::Time now = simulator_.Now();
+      if (node->lease_expires <= now) {
+        // Lapsed. Stop trusting the cache first, then push any dirty blocks
+        // out as plain write-throughs. Clean blocks stay for version
+        // revalidation at the next grant.
+        bool was_write = node->lease_write;
+        DropLease(node, "expire");
+        ++lease_expiries_;
+        if (was_write && cache_.HasDirty(mount_id_, fileid)) {
+          (void)co_await cache_.FlushFile(mount_id_, fileid);
+        }
+      } else if (node->lease_write && node->lease_expires - now <= params_.flush_margin &&
+                 cache_.HasDirty(mount_id_, fileid)) {
+        // Nearing expiry with dirty data: push blocks out one at a time
+        // until a write reply's piggybacked extension renews the lease
+        // (usually the first one does) or the file runs clean. Flushing the
+        // whole file here would write through delayed data that a remove or
+        // the sync daemon may still handle for free — a large regression on
+        // temp-file workloads.
+        while (running_ && cache_.HasDirty(mount_id_, fileid)) {
+          now = simulator_.Now();
+          if (node->lease_expires <= now || node->lease_expires - now > params_.flush_margin) {
+            break;  // lapsed (next scan write-through-flushes) or extended
+          }
+          (void)co_await cache_.FlushFile(mount_id_, fileid, /*max_blocks=*/1);
+        }
+      }
+    }
+  }
+}
+
+// --- callbacks ----------------------------------------------------------------
+
+sim::Task<proto::Reply> NqnfsClient::HandleCallback(proto::CallbackReq req) {
+  ++callbacks_served_;
+  trace::Span serve_span;
+  if (trace::Active() != nullptr) {
+    serve_span.Begin("nqnfs.callback_serve", peer_.address().host,
+                     "file=" + std::to_string(req.fh.fileid) +
+                         " wb=" + (req.writeback ? "1" : "0") +
+                         " inv=" + (req.invalidate ? "1" : "0"));
+  }
+  auto it = nodes_.find(req.fh.fileid);
+  if (it == nodes_.end() || !(it->second->fh == req.fh)) {
+    co_return proto::OkReply(proto::CallbackRep{});
+  }
+  NodeRef node = it->second;
+  if (req.writeback) {
+    // "The client should not return from the callback RPC until all the
+    // dirty blocks have been written back to the server."
+    (void)co_await cache_.FlushFile(mount_id_, node->fh.fileid);
+  }
+  if (req.invalidate) {
+    cache_.InvalidateFile(mount_id_, node->fh.fileid);
+    node->have_cached_data = false;
+    DropLease(node, "vacate");
+    TRACE_INSTANT("nqnfs.invalidated", peer_.address().host,
+                  "file=" + std::to_string(node->fh.fileid) + " reason=callback");
+  }
+  co_return proto::OkReply(proto::CallbackRep{});
+}
+
+// --- namespace & data ----------------------------------------------------------
+
+sim::Task<base::Result<vfs::GnodeRef>> NqnfsClient::Root() {
+  auto it = nodes_.find(root_fh_.fileid);
+  if (it != nodes_.end()) {
+    co_return vfs::GnodeRef(it->second);
+  }
+  proto::GetAttrReq req;
+  req.fh = root_fh_;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(root_fh_, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> NqnfsClient::Lookup(vfs::GnodeRef dir,
+                                                           std::string name) {
+  proto::LookupReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::LookupRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> NqnfsClient::Create(vfs::GnodeRef dir,
+                                                           std::string name,
+                                                           bool exclusive) {
+  proto::CreateReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  req.exclusive = exclusive;
+  auto rep = rpc::Expect<proto::CreateRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<vfs::GnodeRef>> NqnfsClient::Mkdir(vfs::GnodeRef dir,
+                                                          std::string name) {
+  proto::MkdirReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::CreateRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return vfs::GnodeRef(Intern(rep->fh, rep->attr));
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Open(vfs::GnodeRef gnode, bool write) {
+  NodeRef node = AsNode(gnode);
+  co_await EnsureLease(node, write);
+  if (write) {
+    ++node->open_writes;
+  } else {
+    ++node->open_reads;
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Close(vfs::GnodeRef gnode, bool write) {
+  NodeRef node = AsNode(gnode);
+  if (write) {
+    CHECK_GT(node->open_writes, 0u);
+    --node->open_writes;
+  } else {
+    CHECK_GT(node->open_reads, 0u);
+    --node->open_reads;
+  }
+  // No RPC and no flush: the lease outlives the open, and delayed writes
+  // proceed asynchronously across closes exactly as in Sprite.
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<std::vector<uint8_t>>> NqnfsClient::Read(vfs::GnodeRef gnode,
+                                                                uint64_t offset, uint32_t count) {
+  NodeRef node = AsNode(gnode);
+  co_await EnsureLease(node, /*write=*/false);
+  if (node->lease_expires <= simulator_.Now()) {
+    // No lease: every read goes through to the server, read-ahead disabled.
+    proto::ReadReq req;
+    req.fh = node->fh;
+    req.offset = offset;
+    req.count = count;
+    auto rep = rpc::Expect<proto::ReadRep>(co_await Call(proto::Request(req)));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    if (!cache_.HasDirty(mount_id_, node->fh.fileid)) {
+      node->attr = rep->attr;
+    }
+    co_return std::move(rep->data);
+  }
+  // Observation point for the lease-expired-read invariant: a cached read
+  // may only be served inside a live lease, at the version it granted.
+  TRACE_INSTANT("nqnfs.read_observe", peer_.address().host,
+                "file=" + std::to_string(node->fh.fileid) +
+                    " version=" + std::to_string(node->cached_version));
+  auto data = co_await cache_.Read(mount_id_, node->fh.fileid, offset, count, node->attr.size,
+                                   /*read_ahead=*/true);
+  if (data.ok() && !data->empty()) {
+    node->have_cached_data = true;
+  }
+  co_return data;
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Write(vfs::GnodeRef gnode, uint64_t offset,
+                                                 std::vector<uint8_t> data) {
+  NodeRef node = AsNode(gnode);
+  co_await EnsureLease(node, /*write=*/true);
+  if (node->lease_expires <= simulator_.Now() || !node->lease_write) {
+    // No write lease: revert to synchronous write-through. Our own cached
+    // blocks would miss this write, so stop trusting them.
+    if (node->have_cached_data) {
+      cache_.InvalidateFile(mount_id_, node->fh.fileid);
+      node->have_cached_data = false;
+      TRACE_INSTANT("nqnfs.invalidated", peer_.address().host,
+                    "file=" + std::to_string(node->fh.fileid) + " reason=write_through");
+    }
+    proto::WriteReq req;
+    req.fh = node->fh;
+    req.offset = offset;
+    req.data = data;
+    auto rep = rpc::Expect<proto::AttrRep>(co_await Call(proto::Request(req)));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    node->attr = rep->attr;
+    co_return base::OkStatus();
+  }
+  CO_RETURN_IF_ERROR(
+      co_await cache_.WriteDelayed(mount_id_, node->fh.fileid, offset, data, node->attr.size));
+  node->have_cached_data = true;
+  node->attr.size = std::max(node->attr.size, offset + data.size());
+  node->attr.mtime = simulator_.Now();
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<proto::Attr>> NqnfsClient::GetAttr(vfs::GnodeRef gnode) {
+  NodeRef node = AsNode(gnode);
+  if (node->lease_expires > simulator_.Now()) {
+    // A live lease keeps the attribute cache valid: any foreign write would
+    // have vacated us first.
+    co_return node->attr;
+  }
+  proto::GetAttrReq req;
+  req.fh = node->fh;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  if (!cache_.HasDirty(mount_id_, node->fh.fileid)) {
+    node->attr = rep->attr;
+  }
+  co_return node->attr;
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Truncate(vfs::GnodeRef gnode, uint64_t size) {
+  NodeRef node = AsNode(gnode);
+  cache_.CancelDirty(mount_id_, node->fh.fileid);
+  cache_.InvalidateFile(mount_id_, node->fh.fileid);
+  node->have_cached_data = false;
+  proto::SetAttrReq req;
+  req.fh = node->fh;
+  req.size = size;
+  auto rep = rpc::Expect<proto::AttrRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  node->attr = rep->attr;
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Remove(vfs::GnodeRef dir, std::string name,
+                                                  vfs::GnodeRef target) {
+  NodeRef victim = AsNode(target);
+  // Deleting a file cancels its delayed writes, exactly as in Sprite/SNFS.
+  cache_.CancelDirty(mount_id_, victim->fh.fileid);
+  cache_.InvalidateFile(mount_id_, victim->fh.fileid);
+  victim->have_cached_data = false;
+  DropLease(victim, "remove");
+  proto::RemoveReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  nodes_.erase(victim->fh.fileid);
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Rmdir(vfs::GnodeRef dir, std::string name) {
+  proto::RmdirReq req;
+  req.dir = dir->fh;
+  req.name = name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Rename(vfs::GnodeRef from_dir,
+                                                  std::string from_name,
+                                                  vfs::GnodeRef to_dir,
+                                                  std::string to_name) {
+  proto::RenameReq req;
+  req.from_dir = from_dir->fh;
+  req.from_name = from_name;
+  req.to_dir = to_dir->fh;
+  req.to_name = to_name;
+  auto rep = rpc::Expect<proto::NullRep>(co_await Call(proto::Request(req)));
+  if (!rep.ok()) {
+    co_return rep.status();
+  }
+  co_return base::OkStatus();
+}
+
+sim::Task<base::Result<std::vector<proto::DirEntry>>> NqnfsClient::ReadDir(vfs::GnodeRef dir) {
+  std::vector<proto::DirEntry> all;
+  uint64_t cookie = 0;
+  while (true) {
+    proto::ReadDirReq req;
+    req.dir = dir->fh;
+    req.cookie = cookie;
+    req.count = 64;
+    auto rep = rpc::Expect<proto::ReadDirRep>(co_await Call(proto::Request(req)));
+    if (!rep.ok()) {
+      co_return rep.status();
+    }
+    for (auto& e : rep->entries) {
+      cookie = e.cookie;
+      all.push_back(std::move(e));
+    }
+    if (rep->eof) {
+      break;
+    }
+  }
+  co_return all;
+}
+
+sim::Task<base::Result<void>> NqnfsClient::Fsync(vfs::GnodeRef gnode) {
+  NodeRef node = AsNode(gnode);
+  co_return co_await cache_.FlushFile(mount_id_, node->fh.fileid);
+}
+
+}  // namespace nqnfs

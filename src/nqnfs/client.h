@@ -1,0 +1,153 @@
+// The NQNFS client: lease-based caching with no open/close RPCs at all.
+//
+// Where the SNFS client registers every open and close with the server, the
+// NQNFS client asks for a read or write *lease* the first time it touches a
+// file (and when an existing lease no longer covers the access mode), then
+// just uses its cache for as long as the lease is live. The lease is
+// extended for free — the server piggybacks a new expiry on every data-RPC
+// reply — so an actively-used file never pays a lease-renewal round trip.
+//
+// Expiry is the whole consistency story:
+//  * a write lease nearing expiry gets its dirty blocks flushed early (the
+//    flush replies carry extensions, usually keeping the lease alive);
+//  * a lease that lapses is simply dropped: dirty blocks are pushed out as
+//    plain write-throughs, clean blocks are kept for version revalidation
+//    at the next grant, and reads fall back to going through to the server;
+//  * a vacate callback from the server (write-back + invalidate over the
+//    SNFS callback channel) ends the lease immediately.
+//
+// There is no reopen, no keepalive, and no recovery protocol: after a
+// server reboot the client's leases lapse on their own, and new grants are
+// refused only until the server's quiet window closes. Close does nothing
+// but bookkeeping — delayed writes survive across closes exactly as in
+// Sprite and SNFS.
+#ifndef SRC_NQNFS_CLIENT_H_
+#define SRC_NQNFS_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/net/network.h"
+#include "src/proto/messages.h"
+#include "src/rpc/peer.h"
+#include "src/sim/simulator.h"
+#include "src/vfs/vfs.h"
+
+namespace nqnfs {
+
+struct NqnfsClientParams {
+  // Flush dirty blocks when a write lease has less than this left to run,
+  // instead of racing the expiry scan.
+  sim::Duration flush_margin = sim::Sec(5);
+  sim::Duration lease_scan = sim::Sec(1);
+  // After a grant is denied (server quiet window) or the GetLease RPC
+  // fails, run uncached and do not re-ask before this much time passes.
+  sim::Duration denied_retry = sim::Sec(1);
+};
+
+class NqnfsClient : public vfs::FileSystem {
+ public:
+  NqnfsClient(sim::Simulator& simulator, rpc::Peer& peer, net::Address server,
+              proto::FileHandle root_fh, cache::BufferCache& cache,
+              NqnfsClientParams params = {});
+
+  // Spawns the lease-expiry daemon.
+  void Start();
+  void Stop();
+
+  // Crash simulation: lease state lives in kernel memory and dies with the
+  // machine. The buffer cache is dropped separately by the machine.
+  void Reset();
+
+  bool Owns(const proto::FileHandle& fh) const {
+    auto it = nodes_.find(fh.fileid);
+    return it != nodes_.end() && it->second->fh == fh;
+  }
+
+  // Service a vacate callback from the server (routed by the testbed over
+  // the same channel as SNFS callbacks).
+  sim::Task<proto::Reply> HandleCallback(proto::CallbackReq req);
+
+  // --- vfs::FileSystem ------------------------------------------------------
+  sim::Task<base::Result<vfs::GnodeRef>> Root() override;
+  sim::Task<base::Result<vfs::GnodeRef>> Lookup(vfs::GnodeRef dir, std::string name) override;
+  sim::Task<base::Result<vfs::GnodeRef>> Create(vfs::GnodeRef dir, std::string name,
+                                                bool exclusive) override;
+  sim::Task<base::Result<vfs::GnodeRef>> Mkdir(vfs::GnodeRef dir, std::string name) override;
+  sim::Task<base::Result<void>> Open(vfs::GnodeRef node, bool write) override;
+  sim::Task<base::Result<void>> Close(vfs::GnodeRef node, bool write) override;
+  sim::Task<base::Result<std::vector<uint8_t>>> Read(vfs::GnodeRef node, uint64_t offset,
+                                                     uint32_t count) override;
+  sim::Task<base::Result<void>> Write(vfs::GnodeRef node, uint64_t offset,
+                                      std::vector<uint8_t> data) override;
+  sim::Task<base::Result<proto::Attr>> GetAttr(vfs::GnodeRef node) override;
+  sim::Task<base::Result<void>> Truncate(vfs::GnodeRef node, uint64_t size) override;
+  sim::Task<base::Result<void>> Remove(vfs::GnodeRef dir, std::string name,
+                                       vfs::GnodeRef target) override;
+  sim::Task<base::Result<void>> Rmdir(vfs::GnodeRef dir, std::string name) override;
+  sim::Task<base::Result<void>> Rename(vfs::GnodeRef from_dir, std::string from_name,
+                                       vfs::GnodeRef to_dir, std::string to_name) override;
+  sim::Task<base::Result<std::vector<proto::DirEntry>>> ReadDir(vfs::GnodeRef dir) override;
+  sim::Task<base::Result<void>> Fsync(vfs::GnodeRef node) override;
+
+  int mount_id() const { return mount_id_; }
+  uint32_t fsid() const { return root_fh_.fsid; }
+  uint64_t leases_acquired() const { return leases_acquired_; }
+  uint64_t grants_denied_seen() const { return grants_denied_seen_; }
+  uint64_t lease_expiries() const { return lease_expiries_; }
+  uint64_t callbacks_served() const { return callbacks_served_; }
+  uint64_t inconsistent_grants() const { return inconsistent_grants_; }
+
+ private:
+  struct NqnfsNode : vfs::Gnode {
+    bool have_cached_data = false;  // any blocks might be in the cache
+    uint64_t cached_version = 0;    // version the cached blocks correspond to
+    bool lease_write = false;
+    sim::Time lease_expires = 0;  // 0 = no lease; cache is not consulted
+    sim::Time retry_grant_after = 0;
+    bool possibly_inconsistent = false;
+  };
+  using NodeRef = std::shared_ptr<NqnfsNode>;
+
+  static NodeRef AsNode(const vfs::GnodeRef& node);
+  NodeRef Intern(const proto::FileHandle& fh, const proto::Attr& attr);
+
+  // All data RPCs go through here so piggybacked lease extensions on the
+  // replies are applied — including the cache's own flush traffic.
+  sim::Task<base::Result<proto::Reply>> Call(proto::Request request);
+  void ApplyExtension(const proto::Reply& reply);
+
+  // Make sure a lease covering `write` access is in hand if the server will
+  // give us one. Never fails the operation: on denial or RPC failure the
+  // node is left leaseless and the caller runs uncached.
+  sim::Task<void> EnsureLease(NodeRef node, bool write);
+
+  void DropLease(NodeRef node, const char* reason);
+  sim::Task<void> ExpiryDaemon(uint64_t generation);
+
+  sim::Simulator& simulator_;
+  rpc::Peer& peer_;
+  net::Address server_;
+  proto::FileHandle root_fh_;
+  cache::BufferCache& cache_;
+  NqnfsClientParams params_;
+  int mount_id_;
+  bool running_ = false;
+  // Bumped on every Start: daemons from a previous incarnation observe the
+  // change and exit instead of running alongside their replacements.
+  uint64_t daemon_generation_ = 0;
+  std::unordered_map<uint64_t, NodeRef> nodes_;
+  uint64_t leases_acquired_ = 0;
+  uint64_t grants_denied_seen_ = 0;
+  uint64_t lease_expiries_ = 0;
+  uint64_t callbacks_served_ = 0;
+  uint64_t inconsistent_grants_ = 0;
+};
+
+}  // namespace nqnfs
+
+#endif  // SRC_NQNFS_CLIENT_H_

@@ -1,0 +1,140 @@
+// The NQNFS server: Spritely-NFS consistency rebuilt on Gray/Cheriton
+// leases (SNIPPETS.md, freebsd 06.nfs/2.t "Not Quite NFS").
+//
+// Clients ask for read or write leases instead of registering opens; the
+// server vacates conflicting holders over the existing callback channel
+// (write-back + invalidate) before granting, extends a holder's lease by
+// piggybacking the new expiry on every data-RPC reply, and lets idle leases
+// lapse on a periodic scan. Because every promise the server makes is
+// time-bounded, a crash needs no recovery protocol at all: after a reboot
+// the server simply refuses to issue *new* leases for one maximum lease
+// term (the "quiet window", covering every lease a previous incarnation
+// could still have outstanding) while serving uncached data RPCs
+// immediately — lease expiry IS recovery, and there is no reopen grace
+// period anywhere.
+//
+// Like the SNFS server, "our only modification to the original NFS server
+// code" is additive: data operations are delegated to a wrapped NfsServer,
+// with the lease machinery layered in front.
+#ifndef SRC_NQNFS_SERVER_H_
+#define SRC_NQNFS_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/fs/local_fs.h"
+#include "src/net/network.h"
+#include "src/nfs/server.h"
+#include "src/proto/messages.h"
+#include "src/rpc/peer.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/snfs/lease_table.h"
+
+namespace nqnfs {
+
+struct NqnfsServerParams {
+  // Maximum lease term; also the length of the post-reboot quiet window.
+  sim::Duration lease_term = sim::Sec(30);
+  sim::Duration lease_scan = sim::Sec(1);
+  // At most workers-1 concurrent vacate callbacks, so one worker always
+  // remains to service the write-backs the vacates trigger (§3.2's budget
+  // argument applies unchanged to leases).
+  int vacate_budget = 3;
+  rpc::CallOptions vacate_call{.timeout = sim::Sec(2), .max_attempts = 4, .backoff = 2.0};
+};
+
+class NqnfsServer {
+ public:
+  // Installs itself as `peer`'s request handler (owning an NfsServer whose
+  // handler it overrides, hybrid-server style).
+  NqnfsServer(sim::Simulator& simulator, fs::LocalFs& fs, rpc::Peer& peer,
+              NqnfsServerParams params = {});
+
+  NqnfsServer(const NqnfsServer&) = delete;
+  NqnfsServer& operator=(const NqnfsServer&) = delete;
+
+  proto::FileHandle root() const { return fs_.root(); }
+
+  sim::Task<proto::Reply> Handle(proto::Request request, net::Address from);
+
+  // Crash simulation: the lease table lives in kernel memory and dies with
+  // it. The caller also marks the host down and calls peer.Shutdown().
+  void Crash();
+
+  // Reboot: open the quiet window — no new leases until every lease a dead
+  // incarnation could have granted has lapsed. Data RPCs serve immediately.
+  void Restart();
+
+  bool in_quiet_window() const { return simulator_.Now() < no_grant_until_; }
+
+  uint64_t leases_granted() const { return leases_granted_; }
+  uint64_t grants_denied() const { return grants_denied_; }
+  uint64_t vacates_issued() const { return vacates_issued_; }
+  uint64_t vacates_failed() const { return vacates_failed_; }
+  uint64_t lease_expiries() const { return lease_expiries_; }
+  size_t active_leases() const { return leases_.size(); }
+
+ private:
+  sim::Task<proto::Reply> HandleGetLease(proto::GetLeaseReq req, net::Address from);
+
+  // Vacate every holder whose lease conflicts with `host` accessing the
+  // file in `write` mode. Runs under the file lock; loops re-scanning the
+  // table after every awaited callback.
+  sim::Task<void> VacateConflicting(proto::FileHandle fh, int host, bool write);
+
+  // One vacate callback under the budget. On delivery failure the server
+  // cannot force the holder off the file, so it waits out the remainder of
+  // the lease — the one promise it can still keep.
+  sim::Task<void> VacateOne(proto::FileHandle fh, snfs::LeaseKey key, snfs::Lease lease);
+
+  // Leaseless writes (write-through clients, post-expiry flushes) must
+  // vacate other holders and bump the file version so stale caches can
+  // never revalidate against the overwritten data.
+  sim::Task<void> PrepareForeignWrite(proto::FileHandle fh, int host);
+
+  sim::Task<void> LeaseDaemon();
+
+  bool VacateInProgress(uint64_t fileid, int host) const {
+    return vacates_in_progress_.contains((fileid << 16) ^ static_cast<uint64_t>(host));
+  }
+
+  sim::Mutex& FileLock(const proto::FileHandle& fh);
+
+  sim::Simulator& simulator_;
+  fs::LocalFs& fs_;
+  rpc::Peer& peer_;
+  NqnfsServerParams params_;
+  std::unique_ptr<nfs::NfsServer> nfs_;
+  snfs::LeaseTable leases_;
+  sim::Semaphore vacate_budget_;
+  std::unordered_map<uint64_t, std::unique_ptr<sim::Mutex>> file_locks_;
+  std::unordered_set<uint64_t> vacates_in_progress_;
+  // Files whose last write-lease holder could not be reached for its final
+  // write-back; cleared by the next successful foreign write.
+  std::unordered_set<uint64_t> inconsistent_files_;
+  // Run of leaseless write-throughs from a single host (typically a client
+  // flushing after its write lease lapsed). The version is bumped once at
+  // the start of the burst — that is enough to fail revalidation for every
+  // other cache — and `prev_version` remembers the pre-bump version so the
+  // burst writer's own (still coherent) cache can revalidate at its next
+  // grant. Invalidated by any event that lets the data diverge from what
+  // the burst writer holds: a write-lease grant or a leaseless write by
+  // another host.
+  struct LeaselessBurst {
+    int host = -1;
+    uint64_t prev_version = 0;
+  };
+  std::unordered_map<uint64_t, LeaselessBurst> leaseless_bursts_;
+  sim::Time no_grant_until_ = 0;
+  uint64_t leases_granted_ = 0;
+  uint64_t grants_denied_ = 0;
+  uint64_t vacates_issued_ = 0;
+  uint64_t vacates_failed_ = 0;
+  uint64_t lease_expiries_ = 0;
+};
+
+}  // namespace nqnfs
+
+#endif  // SRC_NQNFS_SERVER_H_

@@ -42,6 +42,7 @@ struct RequestSize {
   uint32_t operator()(const CallbackReq&) const { return kFhBytes + 12; }
   uint32_t operator()(const PingReq&) const { return 8; }
   uint32_t operator()(const ReopenReq&) const { return kFhBytes + 20; }
+  uint32_t operator()(const GetLeaseReq&) const { return kFhBytes + 4; }
 };
 
 struct ReplySize {
@@ -65,7 +66,12 @@ struct ReplySize {
   uint32_t operator()(const CallbackRep&) const { return 4; }
   uint32_t operator()(const PingRep&) const { return 12; }
   uint32_t operator()(const ReopenRep&) const { return 12; }
+  uint32_t operator()(const GetLeaseRep&) const { return 40 + kAttrBytes; }
 };
+
+// Bytes added to a reply that carries a piggybacked lease extension
+// (fileid + expiry timestamp).
+constexpr uint32_t kLeaseExtensionBytes = 12;
 
 }  // namespace
 
@@ -105,6 +111,8 @@ std::string_view OpKindName(OpKind kind) {
       return "ping";
     case OpKind::kReopen:
       return "reopen";
+    case OpKind::kGetLease:
+      return "getlease";
     case OpKind::kOpCount:
       break;
   }
@@ -130,6 +138,7 @@ OpKind KindOf(const Request& request) {
     OpKind operator()(const CallbackReq&) const { return OpKind::kCallback; }
     OpKind operator()(const PingReq&) const { return OpKind::kPing; }
     OpKind operator()(const ReopenReq&) const { return OpKind::kReopen; }
+    OpKind operator()(const GetLeaseReq&) const { return OpKind::kGetLease; }
   };
   return std::visit(Visitor{}, request);
 }
@@ -138,7 +147,10 @@ uint32_t WireSize(const Request& request) {
   return kHeaderBytes + std::visit(RequestSize{}, request);
 }
 
-uint32_t WireSize(const Reply& reply) { return kHeaderBytes + std::visit(ReplySize{}, reply.body); }
+uint32_t WireSize(const Reply& reply) {
+  return kHeaderBytes + std::visit(ReplySize{}, reply.body) +
+         (reply.lease_file != 0 ? kLeaseExtensionBytes : 0);
+}
 
 uint32_t WireSize(const Envelope& envelope) {
   return envelope.is_reply ? WireSize(envelope.reply) : WireSize(envelope.request);

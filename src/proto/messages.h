@@ -42,6 +42,8 @@ enum class OpKind : uint8_t {
   // Recovery extension.
   kPing,
   kReopen,
+  // NQNFS lease addition.
+  kGetLease,
   kOpCount,  // sentinel
 };
 
@@ -159,10 +161,19 @@ struct ReopenReq {
   uint64_t cached_version = 0;
 };
 
+// NQNFS lease request (SNIPPETS.md, freebsd 06.nfs/2.t): the client asks for
+// a read or write lease on a file instead of issuing SNFS open/close pairs.
+// Idempotent by construction — re-executing a grant is just an extension —
+// so it needs no duplicate-request caching to be retransmit-safe.
+struct GetLeaseReq {
+  FileHandle fh;
+  bool write_mode = false;
+};
+
 using Request =
     std::variant<NullReq, GetAttrReq, SetAttrReq, LookupReq, ReadReq, WriteReq, CreateReq,
                  RemoveReq, RenameReq, MkdirReq, RmdirReq, ReadDirReq, OpenReq, CloseReq,
-                 CallbackReq, PingReq, ReopenReq>;
+                 CallbackReq, PingReq, ReopenReq, GetLeaseReq>;
 
 OpKind KindOf(const Request& request);
 
@@ -231,12 +242,35 @@ struct ReopenRep {
   uint64_t version = 0;
 };
 
-using ReplyBody = std::variant<std::monostate, NullRep, AttrRep, LookupRep, ReadRep, CreateRep,
-                               ReadDirRep, OpenRep, CloseRep, CallbackRep, PingRep, ReopenRep>;
+// NQNFS lease reply. Version semantics match OpenRep: a cache is valid if
+// the cached version matches `version`, or (for a write lease, whose grant
+// caused the bump) `prev_version`. `granted` is false during the rebooted
+// server's quiet window — the client then runs uncached until `retry_after`.
+struct GetLeaseRep {
+  bool granted = true;
+  uint64_t version = 0;
+  uint64_t prev_version = 0;
+  sim::Time expires = 0;      // absolute virtual time the lease lapses
+  sim::Time retry_after = 0;  // when !granted: when grants resume
+  Attr attr;  // obviates the getattr NFS performs at open time
+  // Set when a vacate callback to a dead holder could not complete before
+  // its lease expired, so the holder's lost dirty blocks may be missing.
+  bool possibly_inconsistent = false;
+};
+
+using ReplyBody =
+    std::variant<std::monostate, NullRep, AttrRep, LookupRep, ReadRep, CreateRep, ReadDirRep,
+                 OpenRep, CloseRep, CallbackRep, PingRep, ReopenRep, GetLeaseRep>;
 
 struct Reply {
   base::Status status;
   ReplyBody body;
+  // NQNFS piggybacked lease extension: when `lease_file` is nonzero the
+  // server has extended the caller's lease on that file to `lease_expires`.
+  // Always zero on NFS/SNFS replies, and WireSize() charges the extension
+  // only when present, so the other protocols' timings are untouched.
+  uint64_t lease_file = 0;
+  sim::Time lease_expires = 0;
 };
 
 inline Reply ErrorReply(base::Status status) { return Reply{status, std::monostate{}}; }

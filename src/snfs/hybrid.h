@@ -19,9 +19,9 @@
 #ifndef SRC_SNFS_HYBRID_H_
 #define SRC_SNFS_HYBRID_H_
 
-#include <map>
 #include <memory>
 
+#include "src/snfs/lease_table.h"
 #include "src/snfs/server.h"
 
 namespace snfs {
@@ -54,17 +54,6 @@ class HybridServer {
   size_t active_leases() const { return leases_.size(); }
 
  private:
-  struct LeaseKey {
-    uint64_t fileid;
-    int host;
-    friend auto operator<=>(const LeaseKey&, const LeaseKey&) = default;
-  };
-  struct Lease {
-    proto::FileHandle fh;
-    bool write = false;
-    sim::Time expires = 0;
-  };
-
   // Ensure the NFS client `host` holds an (implicit) open covering `write`
   // access to `fh`; triggers SNFS callbacks exactly as an explicit open.
   sim::Task<void> TouchLease(proto::FileHandle fh, int host, bool write);
@@ -74,7 +63,7 @@ class HybridServer {
   rpc::Peer& peer_;
   HybridServerParams params_;
   std::unique_ptr<SnfsServer> snfs_;
-  std::map<LeaseKey, Lease> leases_;
+  LeaseTable leases_;
   uint64_t implicit_opens_ = 0;
   uint64_t lease_closes_ = 0;
 };

@@ -22,9 +22,15 @@ ClientMachine::ClientMachine(sim::Simulator& simulator, net::Network& network, s
 
 sim::Task<proto::Reply> ClientMachine::HandleRequest(proto::Request request,
                                                      net::Address from) {
-  // Client machines only serve the SNFS callback RPC (§4.2.2).
+  // Client machines only serve the callback RPC (§4.2.2) — SNFS callbacks
+  // and NQNFS vacates arrive over the same channel.
   if (const auto* cb = std::get_if<proto::CallbackReq>(&request)) {
     for (snfs::SnfsClient* client : snfs_clients_) {
+      if (client->Owns(cb->fh)) {
+        co_return co_await client->HandleCallback(*cb);
+      }
+    }
+    for (nqnfs::NqnfsClient* client : nqnfs_clients_) {
       if (client->Owns(cb->fh)) {
         co_return co_await client->HandleCallback(*cb);
       }
@@ -62,6 +68,21 @@ snfs::SnfsClient& ClientMachine::MountSnfs(const std::string& path, net::Address
   return ref;
 }
 
+nqnfs::NqnfsClient& ClientMachine::MountNqnfs(const std::string& path, net::Address server,
+                                              proto::FileHandle root_fh,
+                                              nqnfs::NqnfsClientParams params) {
+  auto client =
+      std::make_unique<nqnfs::NqnfsClient>(simulator_, *peer_, server, root_fh, *cache_, params);
+  nqnfs::NqnfsClient& ref = *client;
+  nqnfs_clients_.push_back(client.get());
+  vfs_->Mount(path, client.get());
+  mounts_.push_back(std::move(client));
+  if (started_) {
+    ref.Start();
+  }
+  return ref;
+}
+
 fs::LocalMount& ClientMachine::MountLocal(const std::string& path) {
   CHECK(local_fs_ != nullptr);
   auto mount = std::make_unique<fs::LocalMount>(simulator_, *local_fs_, *cache_, &cpu_);
@@ -81,6 +102,9 @@ void ClientMachine::Start() {
   for (snfs::SnfsClient* client : snfs_clients_) {
     client->Start();
   }
+  for (nqnfs::NqnfsClient* client : nqnfs_clients_) {
+    client->Start();
+  }
 }
 
 void ClientMachine::Crash(net::Network& network) {
@@ -91,9 +115,14 @@ void ClientMachine::Crash(net::Network& network) {
     client->Stop();
     client->Reset();
   }
+  for (nqnfs::NqnfsClient* client : nqnfs_clients_) {
+    client->Stop();
+    client->Reset();
+  }
   cache_->Stop();
   cache_->DropAll();  // cached blocks, clean and dirty, die with the kernel
   started_ = false;
+  ++crash_generation_;
 }
 
 void ClientMachine::Restart(net::Network& network) {
@@ -109,8 +138,10 @@ ServerMachine::ServerMachine(sim::Simulator& simulator, net::Network& network, s
   peer_ = std::make_unique<rpc::Peer>(simulator, network, cpu_, name_, params.peer);
   if (protocol == ServerProtocol::kNfs) {
     nfs_server_ = std::make_unique<nfs::NfsServer>(*fs_, *peer_);
-  } else {
+  } else if (protocol == ServerProtocol::kSnfs) {
     snfs_server_ = std::make_unique<snfs::SnfsServer>(simulator, *fs_, *peer_, params.snfs);
+  } else {
+    nqnfs_server_ = std::make_unique<nqnfs::NqnfsServer>(simulator, *fs_, *peer_, params.nqnfs);
   }
 }
 
@@ -123,6 +154,9 @@ void ServerMachine::Crash(net::Network& network) {
   if (snfs_server_ != nullptr) {
     snfs_server_->Crash();
   }
+  if (nqnfs_server_ != nullptr) {
+    nqnfs_server_->Crash();
+  }
 }
 
 void ServerMachine::Reboot(net::Network& network) {
@@ -130,6 +164,9 @@ void ServerMachine::Reboot(net::Network& network) {
   network.SetHostUp(address(), true);
   if (snfs_server_ != nullptr) {
     snfs_server_->Restart();
+  }
+  if (nqnfs_server_ != nullptr) {
+    nqnfs_server_->Restart();
   }
   peer_->Start();
 }

@@ -1,9 +1,10 @@
 // Testbed: simulated machines wired onto a shared network.
 //
 // A ClientMachine bundles CPU, RPC endpoint, buffer cache, VFS, and an
-// optional local disk; helpers mount NFS/SNFS/local file systems and route
-// incoming SNFS callbacks to the right client by fsid. A ServerMachine
-// bundles CPU, disk, LocalFs, and either an NFS or SNFS server.
+// optional local disk; helpers mount NFS/SNFS/NQNFS/local file systems and
+// route incoming callbacks (SNFS and NQNFS share the channel) to the right
+// client by fsid. A ServerMachine bundles CPU, disk, LocalFs, and an NFS,
+// SNFS, or NQNFS server.
 //
 // Default parameters approximate the paper's testbed: Titan-class CPUs,
 // a 10 Mbit/s Ethernet, RA81-class disks, a 16 MB client cache and a
@@ -23,6 +24,8 @@
 #include "src/net/network.h"
 #include "src/nfs/client.h"
 #include "src/nfs/server.h"
+#include "src/nqnfs/client.h"
+#include "src/nqnfs/server.h"
 #include "src/rpc/peer.h"
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
@@ -53,6 +56,8 @@ class ClientMachine {
                            proto::FileHandle root_fh, nfs::NfsClientParams params = {});
   snfs::SnfsClient& MountSnfs(const std::string& path, net::Address server,
                               proto::FileHandle root_fh, snfs::SnfsClientParams params = {});
+  nqnfs::NqnfsClient& MountNqnfs(const std::string& path, net::Address server,
+                                 proto::FileHandle root_fh, nqnfs::NqnfsClientParams params = {});
   fs::LocalMount& MountLocal(const std::string& path);
 
   // Bring daemons up (RPC endpoint, sync daemon, SNFS client daemons).
@@ -73,6 +78,11 @@ class ClientMachine {
   const std::string& name() const { return name_; }
   net::Address address() const { return peer_->address(); }
   bool started() const { return started_; }
+  // Bumped on every Crash(). Lets a workload detect that the machine died
+  // under an operation it had in flight: such an operation's results are
+  // void — the issuing process died with the kernel — even though the
+  // coroutine itself runs to completion against the reset client state.
+  int crash_generation() const { return crash_generation_; }
 
  private:
   sim::Task<proto::Reply> HandleRequest(proto::Request request, net::Address from);
@@ -87,16 +97,19 @@ class ClientMachine {
   std::unique_ptr<fs::LocalFs> local_fs_;
   std::vector<std::unique_ptr<vfs::FileSystem>> mounts_;
   std::vector<snfs::SnfsClient*> snfs_clients_;
+  std::vector<nqnfs::NqnfsClient*> nqnfs_clients_;
   bool started_ = false;
+  int crash_generation_ = 0;
 };
 
-enum class ServerProtocol { kNfs, kSnfs };
+enum class ServerProtocol { kNfs, kSnfs, kNqnfs };
 
 struct ServerMachineParams {
   rpc::PeerOptions peer;
   disk::DiskParams disk;
   fs::LocalFsParams fs{.fsid = 1, .cache_blocks = 896};  // 3.5 MB server cache
-  snfs::SnfsServerParams snfs;  // used when protocol == kSnfs
+  snfs::SnfsServerParams snfs;     // used when protocol == kSnfs
+  nqnfs::NqnfsServerParams nqnfs;  // used when protocol == kNqnfs
 };
 
 class ServerMachine {
@@ -121,6 +134,7 @@ class ServerMachine {
   net::Address address() const { return peer_->address(); }
   proto::FileHandle root() const { return fs_->root(); }
   snfs::SnfsServer* snfs_server() { return snfs_server_.get(); }
+  nqnfs::NqnfsServer* nqnfs_server() { return nqnfs_server_.get(); }
   nfs::NfsServer* nfs_server() { return nfs_server_.get(); }
 
  private:
@@ -132,6 +146,7 @@ class ServerMachine {
   std::unique_ptr<rpc::Peer> peer_;
   std::unique_ptr<nfs::NfsServer> nfs_server_;
   std::unique_ptr<snfs::SnfsServer> snfs_server_;
+  std::unique_ptr<nqnfs::NqnfsServer> nqnfs_server_;
 };
 
 }  // namespace testbed

@@ -13,18 +13,32 @@ std::string_view ProtocolName(Protocol protocol) {
       return "NFS";
     case Protocol::kSnfs:
       return "SNFS";
+    case Protocol::kNqnfs:
+      return "NQNFS";
   }
   return "?";
 }
+
+namespace {
+ServerProtocol ServerProtocolFor(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kNfs:
+      return ServerProtocol::kNfs;
+    case Protocol::kNqnfs:
+      return ServerProtocol::kNqnfs;
+    default:
+      return ServerProtocol::kSnfs;
+  }
+}
+}  // namespace
 
 Rig::Rig(RigOptions options)
     : options_(options), network_(simulator_, options.network, /*seed=*/11) {
   bool remote = options_.protocol != Protocol::kLocal;
   if (remote) {
-    server_ = std::make_unique<ServerMachine>(
-        simulator_, network_, "server",
-        options_.protocol == Protocol::kNfs ? ServerProtocol::kNfs : ServerProtocol::kSnfs,
-        options_.server);
+    server_ = std::make_unique<ServerMachine>(simulator_, network_, "server",
+                                              ServerProtocolFor(options_.protocol),
+                                              options_.server);
   }
   client_ = std::make_unique<ClientMachine>(simulator_, network_, "client", options_.client);
 
@@ -69,6 +83,16 @@ Rig::Rig(RigOptions options)
       client_->MountSnfs(data_root_, server_->address(), data_parent_, options_.snfs);
       if (options_.remote_tmp) {
         client_->MountSnfs("/rtmp", server_->address(), tmp_parent, options_.snfs);
+        tmp_dir_ = "/rtmp";
+      } else {
+        tmp_dir_ = "/local/tmp";
+      }
+      break;
+    }
+    case Protocol::kNqnfs: {
+      client_->MountNqnfs(data_root_, server_->address(), data_parent_, options_.nqnfs);
+      if (options_.remote_tmp) {
+        client_->MountNqnfs("/rtmp", server_->address(), tmp_parent, options_.nqnfs);
         tmp_dir_ = "/rtmp";
       } else {
         tmp_dir_ = "/local/tmp";

@@ -1,11 +1,12 @@
 // Rig: one benchmark configuration — a client machine, optionally a file
 // server, and the mount layout the paper's tables vary:
 //
-//   kLocal      /data and the temp dir both on the client's local disk;
-//   kNfs/kSnfs  /data remote; temp dir either local or remote per
-//               `remote_tmp` ("one with just the data files remotely
-//               mounted but temporary files kept locally, and the last
-//               with both data and temporary files remotely mounted").
+//   kLocal          /data and the temp dir both on the client's local disk;
+//   kNfs/kSnfs/kNqnfs
+//                   /data remote; temp dir either local or remote per
+//                   `remote_tmp` ("one with just the data files remotely
+//                   mounted but temporary files kept locally, and the last
+//                   with both data and temporary files remotely mounted").
 //
 // The rig always provides /local (the client's own disk) for benchmark
 // inputs/outputs that are not under test.
@@ -20,7 +21,7 @@
 
 namespace testbed {
 
-enum class Protocol { kLocal, kNfs, kSnfs };
+enum class Protocol { kLocal, kNfs, kSnfs, kNqnfs };
 
 std::string_view ProtocolName(Protocol protocol);
 
@@ -29,6 +30,7 @@ struct RigOptions {
   bool remote_tmp = false;  // meaningful for kNfs / kSnfs
   nfs::NfsClientParams nfs;
   snfs::SnfsClientParams snfs;
+  nqnfs::NqnfsClientParams nqnfs;
   ClientMachineParams client;
   ServerMachineParams server;
   net::NetworkParams network;  // network.faults enables link-fault injection

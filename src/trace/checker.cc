@@ -33,6 +33,12 @@ struct ExecKey {
   friend auto operator<=>(const ExecKey&, const ExecKey&) = default;
 };
 
+// lease-expired-read: what an NQNFS client holds for one file.
+struct ClientLease {
+  uint64_t version = 0;
+  sim::Time expires = 0;
+};
+
 }  // namespace
 
 bool IsIdempotentOp(std::string_view op) {
@@ -42,7 +48,7 @@ bool IsIdempotentOp(std::string_view op) {
   // and create/remove/rename/mkdir/rmdir mutate the namespace — re-executing
   // any of those is observable.
   return op == "null" || op == "getattr" || op == "setattr" || op == "lookup" || op == "read" ||
-         op == "write" || op == "readdir" || op == "ping" || op == "reopen";
+         op == "write" || op == "readdir" || op == "ping" || op == "reopen" || op == "getlease";
 }
 
 std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
@@ -53,6 +59,11 @@ std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
   std::map<uint64_t, std::set<int>> dirty;
   // retransmit-once: executions per (server, client, xid, generation).
   std::map<ExecKey, std::pair<int, std::string>> execs;
+  // lease-expired-read: (client machine, file) -> live lease.
+  std::map<FileKey, ClientLease> leases;
+  // dual-write-lease: file -> (holder host -> expiry). Never cleared by a
+  // machine.crash: a dead server's promises are retired by the clock alone.
+  std::map<uint64_t, std::map<int, sim::Time>> write_leases;
 
   for (size_t i = 0; i < events.size(); ++i) {
     const Event& e = events[i];
@@ -77,8 +88,82 @@ std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
       }
     } else if (e.kind == EventKind::kInstant && e.name == "snfs.invalidated") {
       granted.erase(FileKey{e.machine, ParseU64(ArgValue(e.args, "file"))});
+    } else if (e.kind == EventKind::kInstant && e.name == "nqnfs.lease_grant") {
+      FileKey key{e.machine, ParseU64(ArgValue(e.args, "file"))};
+      leases[key] = ClientLease{ParseU64(ArgValue(e.args, "version")),
+                                static_cast<sim::Time>(ParseU64(ArgValue(e.args, "expires")))};
+    } else if (e.kind == EventKind::kInstant && e.name == "nqnfs.lease_extend") {
+      FileKey key{e.machine, ParseU64(ArgValue(e.args, "file"))};
+      auto it = leases.find(key);
+      sim::Time expires = static_cast<sim::Time>(ParseU64(ArgValue(e.args, "expires")));
+      if (it != leases.end() && expires > it->second.expires) {
+        it->second.expires = expires;
+      }
+    } else if (e.kind == EventKind::kInstant && e.name == "nqnfs.read_observe") {
+      FileKey key{e.machine, ParseU64(ArgValue(e.args, "file"))};
+      uint64_t version = ParseU64(ArgValue(e.args, "version"));
+      auto it = leases.find(key);
+      if (it == leases.end()) {
+        out.push_back(Violation{"lease-expired-read", i,
+                                "client m" + std::to_string(e.machine) +
+                                    " served a cached read of file " + std::to_string(key.file) +
+                                    " without a lease"});
+      } else if (e.at >= it->second.expires) {
+        out.push_back(Violation{
+            "lease-expired-read", i,
+            "client m" + std::to_string(e.machine) + " served a cached read of file " +
+                std::to_string(key.file) + " at t=" + std::to_string(e.at) +
+                " but its lease expired at t=" + std::to_string(it->second.expires)});
+      } else if (version < it->second.version) {
+        out.push_back(Violation{
+            "lease-expired-read", i,
+            "client m" + std::to_string(e.machine) + " read version " + std::to_string(version) +
+                " of file " + std::to_string(key.file) + " but holds a lease for version " +
+                std::to_string(it->second.version)});
+      }
+    } else if (e.kind == EventKind::kInstant &&
+               (e.name == "nqnfs.lease_end" || e.name == "nqnfs.invalidated")) {
+      leases.erase(FileKey{e.machine, ParseU64(ArgValue(e.args, "file"))});
+    } else if (e.kind == EventKind::kInstant && e.name == "nqnfs.write_lease_grant") {
+      uint64_t file = ParseU64(ArgValue(e.args, "file"));
+      int host = static_cast<int>(ParseU64(ArgValue(e.args, "host")));
+      std::map<int, sim::Time>& holders = write_leases[file];
+      for (auto it = holders.begin(); it != holders.end();) {
+        if (it->second <= e.at) {
+          it = holders.erase(it);  // lapsed by time; no longer a promise
+          continue;
+        }
+        if (it->first != host) {
+          out.push_back(Violation{
+              "dual-write-lease", i,
+              "server m" + std::to_string(e.machine) + " granted host " + std::to_string(host) +
+                  " a write lease on file " + std::to_string(file) + " while host " +
+                  std::to_string(it->first) + "'s write lease runs until t=" +
+                  std::to_string(it->second) + " (grant at t=" + std::to_string(e.at) + ")"});
+        }
+        ++it;
+      }
+      holders[host] = static_cast<sim::Time>(ParseU64(ArgValue(e.args, "expires")));
+    } else if (e.kind == EventKind::kInstant && e.name == "nqnfs.write_lease_extend") {
+      uint64_t file = ParseU64(ArgValue(e.args, "file"));
+      int host = static_cast<int>(ParseU64(ArgValue(e.args, "host")));
+      sim::Time expires = static_cast<sim::Time>(ParseU64(ArgValue(e.args, "expires")));
+      auto file_it = write_leases.find(file);
+      if (file_it != write_leases.end()) {
+        auto it = file_it->second.find(host);
+        if (it != file_it->second.end() && expires > it->second) {
+          it->second = expires;
+        }
+      }
+    } else if (e.kind == EventKind::kInstant && e.name == "nqnfs.write_lease_end") {
+      uint64_t file = ParseU64(ArgValue(e.args, "file"));
+      int host = static_cast<int>(ParseU64(ArgValue(e.args, "host")));
+      auto file_it = write_leases.find(file);
+      if (file_it != write_leases.end()) {
+        file_it->second.erase(host);
+      }
     } else if (e.kind == EventKind::kInstant && e.name == "cache.file_dirty" &&
-               ArgValue(e.args, "scope") == "snfs") {
+               (ArgValue(e.args, "scope") == "snfs" || ArgValue(e.args, "scope") == "nqnfs")) {
       uint64_t file = ParseU64(ArgValue(e.args, "file"));
       std::set<int>& holders = dirty[file];
       holders.insert(e.machine);
@@ -92,12 +177,17 @@ std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
                                     " is write-dirty on two clients concurrently (" + who + ")"});
       }
     } else if (e.kind == EventKind::kInstant && e.name == "cache.file_clean" &&
-               ArgValue(e.args, "scope") == "snfs") {
+               (ArgValue(e.args, "scope") == "snfs" || ArgValue(e.args, "scope") == "nqnfs")) {
       dirty[ParseU64(ArgValue(e.args, "file"))].erase(e.machine);
     } else if (e.kind == EventKind::kInstant && e.name == "machine.crash") {
-      // Cached state — grants and dirty blocks — died with the kernel.
+      // Cached state — grants, client-held leases, dirty blocks — died with
+      // the kernel. Server-side write-lease records deliberately survive:
+      // they expire by time, not by crash.
       for (auto it = granted.begin(); it != granted.end();) {
         it = it->first.machine == e.machine ? granted.erase(it) : std::next(it);
+      }
+      for (auto it = leases.begin(); it != leases.end();) {
+        it = it->first.machine == e.machine ? leases.erase(it) : std::next(it);
       }
       for (auto& [file, holders] : dirty) {
         holders.erase(e.machine);

@@ -19,6 +19,22 @@
 //                    produce two `rpc.handle` executions for the same
 //                    (client, xid). Re-execution across generations (the
 //                    dup cache died with the server) is legal.
+//  lease-expired-read
+//                    NQNFS: a cached read is only ever served inside a live
+//                    lease, at a version no older than the lease granted:
+//                    every `nqnfs.read_observe` needs a preceding
+//                    `nqnfs.lease_grant` (extended by `nqnfs.lease_extend`)
+//                    whose expiry lies strictly after the read's timestamp.
+//                    `nqnfs.lease_end` / `nqnfs.invalidated` retire the
+//                    lease, as does a client `machine.crash`.
+//  dual-write-lease  NQNFS: the server never has two un-lapsed write leases
+//                    on one file (`nqnfs.write_lease_grant` / `_extend` /
+//                    `_end`, with `host=`). Leases are retired by an
+//                    explicit end event or by their expiry time — NOT by a
+//                    server `machine.crash`, because the promise to the
+//                    holder outlives the lease table; a rebooted server
+//                    granting before its quiet window closes is exactly the
+//                    bug this rule exists to catch.
 //
 // The checker is pure: it consumes the event vector and produces violations;
 // it never mutates simulator state, so it can run after the simulation or
@@ -35,7 +51,9 @@
 namespace trace {
 
 struct Violation {
-  std::string rule;    // "stale-read", "concurrent-dirty", "retransmit-once"
+  // "stale-read", "concurrent-dirty", "retransmit-once",
+  // "lease-expired-read", or "dual-write-lease".
+  std::string rule;
   size_t event_index;  // index into the checked event vector
   std::string message;
 };

@@ -39,6 +39,34 @@ struct World {
   ClientMachine& client(int i) { return *clients[i]; }
 };
 
+// Mount the server's export on client `i` with the matching protocol client.
+inline void MountData(World& w, int i, ServerProtocol protocol,
+                      const std::string& path = "/data") {
+  switch (protocol) {
+    case ServerProtocol::kNfs:
+      w.client(i).MountNfs(path, w.server->address(), w.server->root());
+      break;
+    case ServerProtocol::kSnfs:
+      w.client(i).MountSnfs(path, w.server->address(), w.server->root());
+      break;
+    case ServerProtocol::kNqnfs:
+      w.client(i).MountNqnfs(path, w.server->address(), w.server->root());
+      break;
+  }
+}
+
+inline std::string ProtocolLabel(ServerProtocol protocol) {
+  switch (protocol) {
+    case ServerProtocol::kNfs:
+      return "Nfs";
+    case ServerProtocol::kSnfs:
+      return "Snfs";
+    case ServerProtocol::kNqnfs:
+      return "Nqnfs";
+  }
+  return "Unknown";
+}
+
 inline std::vector<uint8_t> TestBytes(const std::string& s) { return {s.begin(), s.end()}; }
 inline std::string TestStr(const std::vector<uint8_t>& v) { return {v.begin(), v.end()}; }
 

@@ -34,6 +34,13 @@ Event Instant(std::string name, int machine, std::string args) {
   return e;
 }
 
+// The lease rules are time-based: fixtures must stamp `at`.
+Event InstantAt(std::string name, int machine, sim::Time at, std::string args) {
+  Event e = Instant(std::move(name), machine, std::move(args));
+  e.at = at;
+  return e;
+}
+
 Event HandleBegin(int server, std::string args) {
   Event e;
   e.kind = EventKind::kSpanBegin;
@@ -263,6 +270,118 @@ TEST(TraceCheckerTest, CrashClearsDirtyStateAndGrants) {
   EXPECT_EQ(Rules(trace::CheckTrace(events)), (std::vector<std::string>{"stale-read"}));
 }
 
+// --- NQNFS lease fixtures --------------------------------------------------
+
+TEST(TraceCheckerTest, SeededExpiredLeaseReadIsFlagged) {
+  // A deliberately-broken client: it keeps serving cached reads after its
+  // lease has lapsed. The checker must fire on the read past the expiry.
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=0 expires=100"));
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 50, "file=7 version=5"));   // in term: fine
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 150, "file=7 version=5"));  // expired
+  std::vector<trace::Violation> violations = trace::CheckTrace(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "lease-expired-read");
+  EXPECT_EQ(violations[0].event_index, 2u);
+  EXPECT_NE(violations[0].message.find("expired at t=100"), std::string::npos);
+}
+
+TEST(TraceCheckerTest, ReadWithoutLeaseOrAfterLeaseEndIsFlagged) {
+  std::vector<Event> events;
+  // No grant at all.
+  events.push_back(InstantAt("nqnfs.read_observe", 2, 5, "file=7 version=5"));
+  // Grant explicitly ended (expiry notice), then read anyway.
+  events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=0 expires=900"));
+  events.push_back(InstantAt("nqnfs.lease_end", 1, 20, "file=7 reason=vacate"));
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 30, "file=7 version=5"));
+  // Grant invalidated (version mismatch on regrant), then read anyway.
+  events.push_back(InstantAt("nqnfs.lease_grant", 3, 10, "file=7 version=5 write=0 expires=900"));
+  events.push_back(InstantAt("nqnfs.invalidated", 3, 20, "file=7 reason=callback"));
+  events.push_back(InstantAt("nqnfs.read_observe", 3, 30, "file=7 version=5"));
+  EXPECT_EQ(Rules(trace::CheckTrace(events)),
+            (std::vector<std::string>{"lease-expired-read", "lease-expired-read",
+                                      "lease-expired-read"}));
+}
+
+TEST(TraceCheckerTest, StaleVersionUnderLiveLeaseIsFlagged) {
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=0 expires=900"));
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 50, "file=7 version=4"));
+  std::vector<trace::Violation> violations = trace::CheckTrace(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "lease-expired-read");
+  EXPECT_NE(violations[0].message.find("version 4"), std::string::npos);
+}
+
+TEST(TraceCheckerTest, PiggybackedExtensionMovesTheExpiry) {
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=1 expires=100"));
+  events.push_back(InstantAt("nqnfs.lease_extend", 1, 60, "file=7 expires=200"));
+  // Past the original expiry but inside the extension: legal. A version
+  // NEWER than the grant is legal too (the holder's own delayed writes).
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 150, "file=7 version=6"));
+  EXPECT_TRUE(trace::CheckTrace(events).empty());
+  // ... but the extension only reaches to t=200.
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 250, "file=7 version=6"));
+  EXPECT_EQ(Rules(trace::CheckTrace(events)), (std::vector<std::string>{"lease-expired-read"}));
+}
+
+TEST(TraceCheckerTest, DualWriteLeaseIsFlagged) {
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 0, "file=3 host=1 expires=100"));
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 50, "file=3 host=2 expires=150"));
+  std::vector<trace::Violation> violations = trace::CheckTrace(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "dual-write-lease");
+  EXPECT_EQ(violations[0].event_index, 1u);
+  EXPECT_NE(violations[0].message.find("host 1"), std::string::npos);
+}
+
+TEST(TraceCheckerTest, VacatedOrLapsedWriteLeasesMayBeRegranted) {
+  std::vector<Event> events;
+  // Explicit hand-off: the vacate ends host 1's lease before host 2's grant.
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 0, "file=3 host=1 expires=100"));
+  events.push_back(InstantAt("nqnfs.write_lease_end", 0, 40, "file=3 host=1 reason=vacate"));
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 50, "file=3 host=2 expires=150"));
+  // Lapse by time: no end event, but the grant comes after the expiry.
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 200, "file=3 host=3 expires=300"));
+  // The same host extending/re-granting to itself never conflicts.
+  events.push_back(InstantAt("nqnfs.write_lease_extend", 0, 250, "file=3 host=3 expires=400"));
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 350, "file=3 host=3 expires=500"));
+  // Different files are independent.
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 360, "file=4 host=1 expires=500"));
+  EXPECT_TRUE(trace::CheckTrace(events).empty());
+}
+
+TEST(TraceCheckerTest, ServerCrashDoesNotClearWriteLeases) {
+  // The quiet-window rule: a server reboot does NOT void the promises a dead
+  // incarnation made. A rebooted server that grants before the old lease's
+  // expiry has passed is exactly the bug this rule exists to catch.
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 0, "file=3 host=1 expires=100"));
+  events.push_back(InstantAt("machine.crash", 0, 10, "kind=server"));
+  events.push_back(InstantAt("nqnfs.write_lease_grant", 0, 50, "file=3 host=2 expires=150"));
+  EXPECT_EQ(Rules(trace::CheckTrace(events)), (std::vector<std::string>{"dual-write-lease"}));
+
+  // Granting only after the dead incarnation's lease has provably lapsed —
+  // what the quiet window enforces — is clean.
+  std::vector<Event> patient;
+  patient.push_back(InstantAt("nqnfs.write_lease_grant", 0, 0, "file=3 host=1 expires=100"));
+  patient.push_back(InstantAt("machine.crash", 0, 10, "kind=server"));
+  patient.push_back(InstantAt("nqnfs.write_lease_grant", 0, 120, "file=3 host=2 expires=220"));
+  EXPECT_TRUE(trace::CheckTrace(patient).empty());
+}
+
+TEST(TraceCheckerTest, ClientCrashClearsItsLeases) {
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=0 expires=900"));
+  events.push_back(InstantAt("machine.crash", 1, 20, "kind=client"));
+  // The lease record died with the kernel; a cached read without a regrant
+  // is a violation even though the original lease's term has not passed.
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 30, "file=7 version=5"));
+  EXPECT_EQ(Rules(trace::CheckTrace(events)), (std::vector<std::string>{"lease-expired-read"}));
+}
+
 TEST(TraceCheckerTest, DuplicateNonIdempotentExecutionIsFlagged) {
   std::vector<Event> events;
   events.push_back(HandleBegin(0, "op=create from=1 xid=42 gen=1"));
@@ -292,6 +411,7 @@ TEST(TraceCheckerTest, IdempotencyClassification) {
   EXPECT_TRUE(trace::IsIdempotentOp("write"));    // absolute offset write
   EXPECT_TRUE(trace::IsIdempotentOp("getattr"));
   EXPECT_TRUE(trace::IsIdempotentOp("reopen"));   // absolute per-client counts
+  EXPECT_TRUE(trace::IsIdempotentOp("getlease")); // re-grant is just an extension
   EXPECT_FALSE(trace::IsIdempotentOp("create"));
   EXPECT_FALSE(trace::IsIdempotentOp("open"));    // reference count
   EXPECT_FALSE(trace::IsIdempotentOp("close"));   // reference count

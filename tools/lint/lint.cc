@@ -144,8 +144,8 @@ bool IsStatementKeyword(const std::string& s) {
 }  // namespace
 
 bool Linter::InOrderSensitiveDir(const std::string& path) {
-  static const char* kDirs[] = {"src/sim/", "src/net/", "src/rpc/",
-                                "src/nfs/", "src/snfs/", "src/cache/"};
+  static const char* kDirs[] = {"src/sim/",  "src/net/",   "src/rpc/",  "src/nfs/",
+                                "src/snfs/", "src/nqnfs/", "src/cache/"};
   std::string p = path;
   std::replace(p.begin(), p.end(), '\\', '/');
   for (const char* dir : kDirs) {
