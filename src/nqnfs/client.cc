@@ -425,11 +425,15 @@ sim::Task<base::Result<void>> NqnfsClient::Write(vfs::GnodeRef gnode, uint64_t o
   co_await EnsureLease(node, /*write=*/true);
   if (node->lease_expires <= simulator_.Now() || !node->lease_write) {
     // No write lease: revert to synchronous write-through. Our own cached
-    // blocks would miss this write, so stop trusting them.
+    // blocks would miss this write, so stop trusting them. This drops cache
+    // residency, not the lease — a live read lease (e.g. after a failed
+    // upgrade) stays valid — so emit a distinct event: `nqnfs.invalidated`
+    // would make the trace checker retire the lease record and flag the
+    // next cached read as spurious.
     if (node->have_cached_data) {
       cache_.InvalidateFile(mount_id_, node->fh.fileid);
       node->have_cached_data = false;
-      TRACE_INSTANT("nqnfs.invalidated", peer_.address().host,
+      TRACE_INSTANT("nqnfs.self_invalidate", peer_.address().host,
                     "file=" + std::to_string(node->fh.fileid) + " reason=write_through");
     }
     proto::WriteReq req;

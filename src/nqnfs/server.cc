@@ -76,7 +76,6 @@ sim::Task<void> NqnfsServer::VacateOne(proto::FileHandle fh, snfs::LeaseKey key,
   auto reply = co_await peer_.Call(net::Address{key.host}, req, params_.vacate_call);
   bool delivered = reply.ok() && reply->status.ok();
   span.End(std::string("ok=") + (delivered ? "1" : "0"));
-  vacates_in_progress_.erase(in_progress_key);
   vacate_budget_.Release();
   if (!delivered) {
     ++vacates_failed_;
@@ -85,15 +84,23 @@ sim::Task<void> NqnfsServer::VacateOne(proto::FileHandle fh, snfs::LeaseKey key,
              static_cast<unsigned long long>(key.fileid));
     // The holder is unreachable but its lease is still a promise; the only
     // correct move is to wait for it to lapse. A dead write-lease holder
-    // takes its un-flushed dirty blocks with it.
-    snfs::Lease* current = leases_.Find(key.fileid, key.host);
-    if (current != nullptr && current->expires > simulator_.Now()) {
+    // takes its un-flushed dirty blocks with it. The in-progress marker
+    // stays up for the whole wait so a holder that comes back mid-wait
+    // cannot extend the lease through the piggyback path; the loop re-finds
+    // the lease after every sleep so an extension that landed before the
+    // marker went up is waited out too — a live lease is never erased.
+    while (true) {
+      snfs::Lease* current = leases_.Find(key.fileid, key.host);
+      if (current == nullptr || current->expires <= simulator_.Now()) {
+        break;
+      }
       co_await sim::Sleep(simulator_, current->expires - simulator_.Now());
     }
     if (lease.write) {
       inconsistent_files_.insert(key.fileid);
     }
   }
+  vacates_in_progress_.erase(in_progress_key);
   leases_.Erase(key.fileid, key.host);
   if (delivered && lease.write) {
     TRACE_INSTANT("nqnfs.write_lease_end", peer_.address().host,
@@ -115,7 +122,10 @@ sim::Task<void> NqnfsServer::VacateConflicting(proto::FileHandle fh, int host, b
         continue;  // read leases coexist; the requester's own lease never conflicts
       }
       if (lease.expires <= now) {
-        leases_.Erase(key.fileid, key.host);  // already lapsed; no callback owed
+        // Already lapsed; no callback owed. Count the expiry exactly as the
+        // daemon's scan would have, so retiring it here does not undercount.
+        leases_.Erase(key.fileid, key.host);
+        ++lease_expiries_;
         continue;
       }
       victim_key = key;
@@ -130,13 +140,13 @@ sim::Task<void> NqnfsServer::VacateConflicting(proto::FileHandle fh, int host, b
   }
 }
 
-sim::Task<void> NqnfsServer::PrepareForeignWrite(proto::FileHandle fh, int host) {
+sim::Task<sim::Mutex*> NqnfsServer::PrepareForeignWrite(proto::FileHandle fh, int host) {
   if (VacateInProgress(fh.fileid, host)) {
-    co_return;  // a write-back we requested; covered by the lease being vacated
+    co_return nullptr;  // a write-back we requested; covered by the lease being vacated
   }
   snfs::Lease* mine = leases_.Find(fh.fileid, host);
   if (mine != nullptr && mine->write && mine->expires > simulator_.Now()) {
-    co_return;  // lease-covered flush: the grant already bumped the version
+    co_return nullptr;  // lease-covered flush: the grant already bumped the version
   }
   // Leaseless write-through (an uncached client, or a post-expiry flush):
   // serialize against grants, force every cached copy out, and bump the
@@ -157,7 +167,10 @@ sim::Task<void> NqnfsServer::PrepareForeignWrite(proto::FileHandle fh, int host)
     }  // ErrStale (racing remove): the write itself fails the same way
   }
   inconsistent_files_.erase(fh.fileid);
-  lock.Release();
+  // The lock stays held until the delegated write has landed: releasing it
+  // here would open a window where a foreign GetLease grants a read lease
+  // whose holder caches the pre-write data at the post-bump version.
+  co_return &lock;
 }
 
 sim::Task<proto::Reply> NqnfsServer::HandleGetLease(proto::GetLeaseReq req, net::Address from) {
@@ -179,8 +192,10 @@ sim::Task<proto::Reply> NqnfsServer::HandleGetLease(proto::GetLeaseReq req, net:
 
   snfs::Lease* mine = leases_.Find(req.fh.fileid, from.host);
   if (mine != nullptr && mine->expires <= simulator_.Now()) {
-    // Our previous grant to this host lapsed while we vacated; start fresh.
+    // Our previous grant to this host lapsed while we vacated; start fresh
+    // (counting the expiry, exactly as the daemon's scan would have).
     leases_.Erase(req.fh.fileid, from.host);
+    ++lease_expiries_;
     mine = nullptr;
   }
   const bool already_writing = mine != nullptr && mine->write;
@@ -241,7 +256,8 @@ sim::Task<proto::Reply> NqnfsServer::HandleGetLease(proto::GetLeaseReq req, net:
 }
 
 sim::Task<proto::Reply> NqnfsServer::Handle(proto::Request request, net::Address from) {
-  uint64_t data_target = 0;  // file whose reply may carry a lease extension
+  uint64_t data_target = 0;       // file whose reply may carry a lease extension
+  sim::Mutex* write_lock = nullptr;  // held across a leaseless write-through
   switch (proto::KindOf(request)) {
     case proto::OpKind::kGetLease:
       co_return co_await HandleGetLease(std::get<proto::GetLeaseReq>(request), from);
@@ -254,13 +270,13 @@ sim::Task<proto::Reply> NqnfsServer::Handle(proto::Request request, net::Address
     case proto::OpKind::kWrite: {
       const auto& req = std::get<proto::WriteReq>(request);
       data_target = req.fh.fileid;
-      co_await PrepareForeignWrite(req.fh, from.host);
+      write_lock = co_await PrepareForeignWrite(req.fh, from.host);
       break;
     }
     case proto::OpKind::kSetAttr: {
       const auto& req = std::get<proto::SetAttrReq>(request);
       data_target = req.fh.fileid;
-      co_await PrepareForeignWrite(req.fh, from.host);
+      write_lock = co_await PrepareForeignWrite(req.fh, from.host);
       break;
     }
     case proto::OpKind::kRemove: {
@@ -281,6 +297,9 @@ sim::Task<proto::Reply> NqnfsServer::Handle(proto::Request request, net::Address
   }
 
   proto::Reply reply = co_await nfs_->Handle(std::move(request), from);
+  if (write_lock != nullptr) {
+    write_lock->Release();
+  }
 
   // Piggyback a lease extension on successful data replies to a live
   // holder ("the lease is extended as a side effect of other RPCs"), so

@@ -91,8 +91,11 @@ class NqnfsServer {
 
   // Leaseless writes (write-through clients, post-expiry flushes) must
   // vacate other holders and bump the file version so stale caches can
-  // never revalidate against the overwritten data.
-  sim::Task<void> PrepareForeignWrite(proto::FileHandle fh, int host);
+  // never revalidate against the overwritten data. Returns the file lock,
+  // still held, when it took that path — the caller releases it only after
+  // the delegated write has landed, so no grant can slip between the bump
+  // and the write — or nullptr when the write was already lease-covered.
+  sim::Task<sim::Mutex*> PrepareForeignWrite(proto::FileHandle fh, int host);
 
   sim::Task<void> LeaseDaemon();
 

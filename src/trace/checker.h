@@ -27,6 +27,9 @@
 //                    whose expiry lies strictly after the read's timestamp.
 //                    `nqnfs.lease_end` / `nqnfs.invalidated` retire the
 //                    lease, as does a client `machine.crash`.
+//                    (`nqnfs.self_invalidate` — a client dropping its own
+//                    cached blocks around a write-through while a read
+//                    lease stays live — deliberately does not.)
 //  dual-write-lease  NQNFS: the server never has two un-lapsed write leases
 //                    on one file (`nqnfs.write_lease_grant` / `_extend` /
 //                    `_end`, with `host=`). Leases are retired by an

@@ -303,6 +303,22 @@ TEST(TraceCheckerTest, ReadWithoutLeaseOrAfterLeaseEndIsFlagged) {
                                       "lease-expired-read"}));
 }
 
+TEST(TraceCheckerTest, SelfWriteThroughInvalidationKeepsTheLeaseAlive) {
+  // A client that writes through while still holding a live read lease
+  // (e.g. a write-lease upgrade failed on an RPC error) drops its cached
+  // blocks but keeps the lease; the cache drop must not retire the lease
+  // record, or the next legal cached read would be flagged.
+  std::vector<Event> events;
+  events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=0 expires=900"));
+  events.push_back(InstantAt("nqnfs.self_invalidate", 1, 20, "file=7 reason=write_through"));
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 30, "file=7 version=5"));
+  EXPECT_TRUE(trace::CheckTrace(events).empty());
+  // A real invalidation (vacate callback) still retires it.
+  events.push_back(InstantAt("nqnfs.invalidated", 1, 40, "file=7 reason=callback"));
+  events.push_back(InstantAt("nqnfs.read_observe", 1, 50, "file=7 version=5"));
+  EXPECT_EQ(Rules(trace::CheckTrace(events)), (std::vector<std::string>{"lease-expired-read"}));
+}
+
 TEST(TraceCheckerTest, StaleVersionUnderLiveLeaseIsFlagged) {
   std::vector<Event> events;
   events.push_back(InstantAt("nqnfs.lease_grant", 1, 10, "file=7 version=5 write=0 expires=900"));
