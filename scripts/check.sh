@@ -4,7 +4,8 @@
 #  1. ROADMAP tier-1: configure, build, run the full test suite.
 #  2. snfslint: the repo's own static-analysis pass (tools/lint) over src,
 #     tests, bench, and examples — coroutine lifetime, stale pointers across
-#     suspension points, dropped tasks, determinism, status discipline, and
+#     suspension points, dropped tasks, determinism, status discipline, lock
+#     discipline (lock-balance / double-acquire / lock-order), and
 #     suppression auditing. (Also runs inside ctest as `lint_repo`.)
 #  3. clang-tidy (if installed): generic bug-pattern checks per .clang-tidy,
 #     driven by the exported compile_commands.json; warnings are errors.
@@ -21,15 +22,24 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 echo "== snfslint: simulator-aware static analysis =="
-# The interprocedural pass (call graph + may-suspend fixpoint) runs on every
-# build and inside ctest, so its wall time is part of the edit loop; budget
-# it at 10s and fail loudly if it regresses.
+# The interprocedural passes (call graph, may-suspend fixpoint, and the
+# lock-discipline summaries) run on every build and inside ctest, so their
+# wall time is part of the edit loop; budget it at 10s and fail loudly if it
+# regresses. snfslint prints a per-rule finding tally on stderr either way.
 lint_start_ns=$(date +%s%N)
 ./build/tools/lint/snfslint --root . src tests bench examples
 lint_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
 echo "snfslint wall time: ${lint_ms} ms (budget 10000 ms)"
 if [ "$lint_ms" -gt 10000 ]; then
   echo "FAIL: snfslint exceeded its 10s wall-time budget" >&2
+  exit 1
+fi
+# The lock-summary dump backs the lock rules (acquires/releases/may-acquire
+# per function); make sure it stays producible and non-empty.
+lock_lines=$(./build/tools/lint/snfslint --root . --format=locks src | wc -l)
+echo "snfslint --format=locks: ${lock_lines} lock summaries"
+if [ "$lock_lines" -lt 1 ]; then
+  echo "FAIL: lock-summary dump is empty" >&2
   exit 1
 fi
 

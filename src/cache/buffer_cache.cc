@@ -234,6 +234,9 @@ sim::Task<void> BufferCache::AsyncStore(Key key, std::vector<uint8_t> data) {
   flush_behind_.Release();
 }
 
+// Dirty victims hand their block to a spawned AsyncStore with the
+// flush-behind slot still held; the spawned coroutine releases it.
+// lint: lock-escapes
 sim::Task<void> BufferCache::EvictIfNeeded() {
   while (entries_.size() > params_.capacity_blocks) {
     // Find the least-recently-used entry. Dirty victims are handed to the
@@ -376,8 +379,8 @@ sim::Task<base::Result<void>> BufferCache::WriteDelayed(int mount, uint64_t file
     if (gate.locked()) {
       // This file is being flushed; stall on the busy buffers like a
       // 4.3BSD writer would.
-      co_await gate.Acquire();
-      gate.Release();
+      sim::ScopedLock stall(gate);
+      co_await stall;
     }
   }
   uint64_t end = offset + data.size();

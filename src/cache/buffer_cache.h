@@ -193,7 +193,9 @@ class BufferCache {
   // Emits a cache.file_dirty / cache.file_clean trace instant when the
   // file's HasDirty state differs from `was_dirty` (no-op when untraced).
   void NoteDirtyTransition(const FileKey& fk, bool was_dirty);
-  sim::Task<void> EvictIfNeeded();
+  // May exit holding a flush-behind slot that the spawned AsyncStore
+  // releases when the write-back lands.
+  sim::Task<void> EvictIfNeeded();  // lint: lock-escapes
   sim::Task<void> AsyncStore(Key key, std::vector<uint8_t> data);
   sim::Task<void> SyncDaemon();
   // In-flight store registration must be synchronous with the decision to

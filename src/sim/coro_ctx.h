@@ -1,0 +1,36 @@
+// Ambient activity context for simulated coroutines.
+//
+// An *activity* is one logical chain of Task frames linked by co_await:
+// a spawned top-level task plus every child task it awaits (children run
+// to completion before the parent resumes, so exactly one frame of the
+// chain runs at a time). The ambient id is maintained by the same Task
+// awaiter hooks that restore the trace span (src/sim/task.h): a child
+// created under a running activity inherits its id, Simulator::Spawn
+// mints a fresh id for the new top-level chain, and the Simulator clears
+// the ambient before each plain-lambda event.
+//
+// sim::Mutex uses the ambient id for ownership checks: the activity that
+// acquired the lock (not the individual frame) must be the one releasing
+// it, which keeps the PrepareForeignWrite pattern — acquire in a child,
+// release in the awaiting parent — legal while still catching releases
+// from unrelated coroutines and same-activity re-acquires (self-deadlock
+// on a FIFO mutex).
+//
+// Plain global, like tracectx::current_span: the simulator is
+// single-threaded, so no TLS needed.
+#ifndef SRC_SIM_CORO_CTX_H_
+#define SRC_SIM_CORO_CTX_H_
+
+#include <cstdint>
+
+namespace sim::coroctx {
+
+// 0 = no activity (plain scheduled lambdas, code outside the simulator).
+inline uint64_t current_activity = 0;
+inline uint64_t next_activity = 1;
+
+inline uint64_t NewActivity() { return next_activity++; }
+
+}  // namespace sim::coroctx
+
+#endif  // SRC_SIM_CORO_CTX_H_

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "src/base/log.h"
+#include "src/sim/coro_ctx.h"
 #include "src/sim/trace_ctx.h"
 
 namespace sim {
@@ -256,6 +257,9 @@ void Simulator::Spawn(Task<void> task) {
   CHECK(handle);
   handle.promise().detached = true;
   handle.promise().started = true;
+  // A spawned task is a new top-level chain, not part of the spawner's
+  // activity — re-mint so lock-ownership checks see it as a stranger.
+  handle.promise().activity = coroctx::NewActivity();
   ScheduleResumeAt(now_, handle);
 }
 
@@ -303,8 +307,10 @@ bool Simulator::Step() {
   }
   g_current = this;
   // Plain scheduled lambdas (timers, packet deliveries) run unattributed;
-  // coroutine resumptions restore their own span via Task's awaiter hooks.
+  // coroutine resumptions restore their own span and activity via Task's
+  // awaiter hooks.
   tracectx::current_span = 0;
+  coroctx::current_activity = 0;
   if (node->handle) {
     std::coroutine_handle<> h = node->handle;
     FreeNode(node);

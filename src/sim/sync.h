@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/sim/coro_ctx.h"
 #include "src/sim/simulator.h"
 
 namespace sim {
@@ -20,6 +21,14 @@ namespace sim {
 //   co_await mutex.Acquire();
 //   ... critical section (may co_await) ...
 //   mutex.Release();
+//
+// Ownership is tracked per *activity* (the co_await chain, see
+// src/sim/coro_ctx.h): re-acquiring a mutex the current activity already
+// holds is a guaranteed self-deadlock on a FIFO mutex, and releasing a
+// mutex some other activity holds corrupts the critical section — both
+// CHECK-fail immediately instead of hanging or silently interleaving.
+// Acquiring in a child task and releasing in the awaiting parent (the
+// PrepareForeignWrite pattern) is one activity and stays legal.
 class Mutex {
  public:
   explicit Mutex(Simulator& simulator) : simulator_(simulator) {}
@@ -32,11 +41,15 @@ class Mutex {
     bool await_ready() const noexcept {
       if (!mutex.locked_) {
         mutex.locked_ = true;
+        mutex.owner_ = coroctx::current_activity;
         return true;
       }
+      CHECK(mutex.owner_ != coroctx::current_activity);  // self-deadlock
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { mutex.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      mutex.waiters_.push_back(Waiter{h, coroctx::current_activity});
+    }
     void await_resume() const noexcept {}
   };
 
@@ -44,22 +57,63 @@ class Mutex {
 
   void Release() {
     CHECK(locked_);
+    CHECK(owner_ == coroctx::current_activity);  // release by non-owner
     if (!waiters_.empty()) {
       // Ownership transfers directly to the first waiter.
-      std::coroutine_handle<> next = waiters_.front();
+      Waiter next = waiters_.front();
       waiters_.pop_front();
-      simulator_.Ready(next);
+      owner_ = next.activity;
+      simulator_.Ready(next.handle);
     } else {
       locked_ = false;
+      owner_ = 0;
     }
   }
 
   bool locked() const { return locked_; }
 
  private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    uint64_t activity;
+  };
+
   Simulator& simulator_;
   bool locked_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  uint64_t owner_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+// Awaitable RAII guard for Mutex: co_await acquires, the destructor
+// releases if still held. For critical sections that end with their
+// enclosing scope:
+//   sim::ScopedLock lock(mutex);
+//   co_await lock;
+//   ... critical section (may co_await) ...
+// Keep manual Acquire/Release where ownership escapes the scope (early
+// release before more work, or transfer to another coroutine).
+class ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& mutex) : mutex_(mutex) {}
+
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+  ~ScopedLock() {
+    if (held_) {
+      mutex_.Release();
+    }
+  }
+
+  bool await_ready() const noexcept { return Mutex::Acquirer{mutex_}.await_ready(); }
+  void await_suspend(std::coroutine_handle<> h) { Mutex::Acquirer{mutex_}.await_suspend(h); }
+  void await_resume() noexcept { held_ = true; }
+
+  bool held() const { return held_; }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = false;
 };
 
 // Counting semaphore with FIFO wakeup.

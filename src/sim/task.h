@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/sim/coro_ctx.h"
 #include "src/sim/frame_pool.h"
 #include "src/sim/trace_ctx.h"
 
@@ -33,15 +34,16 @@ class Task;
 namespace detail {
 
 // Wraps every awaitable co_awaited inside a Task coroutine: the ambient
-// trace span is saved when the coroutine suspends and restored when it
-// resumes, so spans follow the causal chain instead of whichever coroutine
-// happens to run next. The `suspended` flag keeps the no-suspend fast path
-// (await_ready() == true, e.g. an uncontended Mutex) from touching the
-// context at all.
+// trace span and activity id are saved when the coroutine suspends and
+// restored when it resumes, so both follow the causal chain instead of
+// whichever coroutine happens to run next. The `suspended` flag keeps the
+// no-suspend fast path (await_ready() == true, e.g. an uncontended Mutex)
+// from touching the context at all.
 template <typename A>
 struct TraceAwaiter {
   A awaitable;
   uint64_t saved_span = 0;
+  uint64_t saved_activity = 0;
   bool suspended = false;
 
   bool await_ready() { return awaitable.await_ready(); }
@@ -49,6 +51,7 @@ struct TraceAwaiter {
   template <typename Promise>
   auto await_suspend(std::coroutine_handle<Promise> h) {
     saved_span = tracectx::current_span;
+    saved_activity = coroctx::current_activity;
     suspended = true;
     return awaitable.await_suspend(h);
   }
@@ -56,6 +59,7 @@ struct TraceAwaiter {
   decltype(auto) await_resume() {
     if (suspended) {
       tracectx::current_span = saved_span;
+      coroctx::current_activity = saved_activity;
     }
     return awaitable.await_resume();
   }
@@ -74,6 +78,11 @@ struct PromiseBase {
   std::exception_ptr exception;
   // Ambient span at coroutine creation; restored when the body first runs.
   uint64_t trace_span = tracectx::current_span;
+  // Activity chain this frame belongs to: a child created while an activity
+  // runs inherits its id; a root created outside any activity mints a fresh
+  // one. Simulator::Spawn re-mints, so spawned tasks are always new chains.
+  uint64_t activity =
+      coroctx::current_activity != 0 ? coroctx::current_activity : coroctx::NewActivity();
 
   // Restores the creator's trace context on first resumption (covers both
   // Spawn-scheduled starts and symmetric-transfer starts from co_await).
@@ -81,7 +90,10 @@ struct PromiseBase {
     PromiseBase* promise;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<>) const noexcept {}
-    void await_resume() const noexcept { tracectx::current_span = promise->trace_span; }
+    void await_resume() const noexcept {
+      tracectx::current_span = promise->trace_span;
+      coroctx::current_activity = promise->activity;
+    }
   };
 
   template <typename A>

@@ -166,10 +166,9 @@ sim::Task<proto::Reply> SnfsServer::HandleOpen(proto::OpenReq req, net::Address 
 }
 
 sim::Task<proto::Reply> SnfsServer::HandleClose(proto::CloseReq req, net::Address from) {
-  sim::Mutex& lock = FileLock(req.fh);
-  co_await lock.Acquire();
+  sim::ScopedLock lock(FileLock(req.fh));
+  co_await lock;
   CloseResult result = table_.OnClose(req.fh, from.host, req.write_mode, req.has_dirty);
-  lock.Release();
   (void)result;
   co_return proto::OkReply(proto::CloseRep{});
 }
@@ -179,11 +178,10 @@ sim::Task<proto::Reply> SnfsServer::HandleReopen(proto::ReopenReq req, net::Addr
   if (!stable_version.ok()) {
     co_return proto::ErrorReply(stable_version.status());
   }
-  sim::Mutex& lock = FileLock(req.fh);
-  co_await lock.Acquire();
+  sim::ScopedLock lock(FileLock(req.fh));
+  co_await lock;
   OpenResult outcome = table_.ApplyReopen(req.fh, from.host, req.read_count, req.write_count,
                                           req.has_dirty, req.cached_version, *stable_version);
-  lock.Release();
   proto::ReopenRep rep;
   rep.cache_enabled = outcome.cache_enabled;
   rep.version = outcome.version;
@@ -197,14 +195,13 @@ sim::Task<void> SnfsServer::ReclaimEntries() {
     ++reclaims_;
     TRACE_INSTANT("snfs.reclaim", peer_.address().host,
                   "file=" + std::to_string(plan.fh.fileid));
-    sim::Mutex& lock = FileLock(plan.fh);
-    co_await lock.Acquire();
+    sim::ScopedLock lock(FileLock(plan.fh));
+    co_await lock;
     co_await IssueCallback(plan.fh, plan.callback);
     const StateTable::Entry* entry = table_.Lookup(plan.fh);
     if (entry != nullptr && entry->state == FileState::kClosed) {
       table_.Forget(plan.fh);
     }
-    lock.Release();
   }
 }
 

@@ -341,6 +341,10 @@ void CallGraph::AddFile(const std::string& path, const LexResult& lex) {
       f.no_suspend = true;
       annot_sites_[{path, t[name].line}] = by_qual_.at(qual);
     }
+    if (lex.lock_escapes_lines.count(t[name].line) > 0) {
+      f.lock_escapes = true;
+      lock_annot_sites_[{path, t[name].line}] = by_qual_.at(qual);
+    }
   }
 
   // --- pass A2: annotated plain declarations ------------------------------
@@ -413,6 +417,10 @@ void CallGraph::AddFile(const std::string& path, const LexResult& lex) {
     if (lex.no_suspend_lines.count(t[name].line) > 0) {
       f.no_suspend = true;
       annot_sites_[{path, t[name].line}] = fn_idx;
+    }
+    if (lex.lock_escapes_lines.count(t[name].line) > 0) {
+      f.lock_escapes = true;
+      lock_annot_sites_[{path, t[name].line}] = fn_idx;
     }
     // Walk the body: direct suspensions and call sites, skipping nested
     // lambda bodies (a lambda is its own function on its own schedule).
@@ -582,6 +590,38 @@ CallGraph::NoSuspendStatus CallGraph::NoSuspendStatusAt(const std::string& file,
     return NoSuspendStatus{};
   }
   return it->second;
+}
+
+const Function* CallGraph::Lookup(const std::string& qual) const {
+  auto it = by_qual_.find(qual);
+  return it == by_qual_.end() ? nullptr : &fns_[it->second];
+}
+
+std::vector<const Function*> CallGraph::Resolve(const std::string& qualifier,
+                                                const std::string& caller_class,
+                                                const std::string& name) const {
+  for (const std::string* cls : {&qualifier, &caller_class}) {
+    if (cls->empty()) {
+      continue;
+    }
+    auto it = by_qual_.find(*cls + "::" + name);
+    if (it != by_qual_.end()) {
+      return {&fns_[it->second]};
+    }
+  }
+  std::vector<const Function*> out;
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    for (size_t idx : it->second) {
+      out.push_back(&fns_[idx]);
+    }
+  }
+  return out;
+}
+
+std::string CallGraph::LockEscapeQualAt(const std::string& file, int line) const {
+  auto it = lock_annot_sites_.find({file, line});
+  return it == lock_annot_sites_.end() ? std::string() : fns_[it->second].qual;
 }
 
 }  // namespace lint

@@ -87,6 +87,10 @@ struct Function {
   int direct_suspend_line = 0;
   bool no_suspend = false;  // pinned by // lint: no-suspend
   bool may_suspend = false;
+  // Annotated `// lint: lock-escapes`: the function intentionally exits with
+  // a lock held (ownership transfers to the caller or a spawned coroutine),
+  // so the lock-balance held-at-exit check is waived for it (locks.h).
+  bool lock_escapes = false;
   std::string why;  // human-readable reason for the classification
   std::vector<CallSite> calls;
 };
@@ -123,6 +127,26 @@ class CallGraph {
   };
   NoSuspendStatus NoSuspendStatusAt(const std::string& file, int line) const;
 
+  // The record registered under `qual`, or nullptr. Valid any time after the
+  // AddFile calls; classification fields are meaningful after Finalize().
+  const Function* Lookup(const std::string& qual) const;
+
+  // Candidate records for a call spelled `qualifier::name(...)` made from
+  // inside `caller_class` (either may be empty): the exact qualified record
+  // when the spelling provides one, else every record sharing the bare name.
+  // Empty when the name is unknown. This is the same resolution order the
+  // may-suspend fixpoint uses; the lock pass (locks.h) propagates its
+  // may-acquire sets through it.
+  std::vector<const Function*> Resolve(const std::string& qualifier,
+                                       const std::string& caller_class,
+                                       const std::string& name) const;
+
+  // Qualified name of the function whose declaration or definition line
+  // carries a `// lint: lock-escapes` annotation covering (file, line);
+  // empty when the annotation attaches to no recorded function. Drives the
+  // lock-escapes audit.
+  std::string LockEscapeQualAt(const std::string& file, int line) const;
+
  private:
   struct PendingCall {
     size_t fn;  // index into fns_
@@ -142,6 +166,8 @@ class CallGraph {
   // (file, line of a no-suspend-annotated function name) -> fns_ index.
   std::map<std::pair<std::string, int>, size_t> annot_sites_;
   std::map<std::pair<std::string, int>, NoSuspendStatus> annot_status_;
+  // (file, line of a lock-escapes-annotated function name) -> fns_ index.
+  std::map<std::pair<std::string, int>, size_t> lock_annot_sites_;
   bool finalized_ = false;
 };
 

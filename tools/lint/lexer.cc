@@ -80,6 +80,17 @@ void RecordSuppressions(const std::string& comment, int line, bool standalone,
         note.covered.push_back(line + 1);
       }
       out.no_suspend_notes.push_back(std::move(note));
+    } else if (word == "lock-escapes") {
+      out.lock_escapes_lines.insert(line);
+      SuppressionNote note;
+      note.rule = "lock-escapes";
+      note.comment_line = line;
+      note.covered.push_back(line);
+      if (standalone) {
+        out.lock_escapes_lines.insert(line + 1);
+        note.covered.push_back(line + 1);
+      }
+      out.lock_escapes_notes.push_back(std::move(note));
     } else if (!word.empty()) {
       break;  // first non-rule word ends the suppression list
     }

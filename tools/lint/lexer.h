@@ -59,6 +59,16 @@ struct LexResult {
   // Every `no-suspend` annotation positionally, for the audit (rule field is
   // always "no-suspend").
   std::vector<SuppressionNote> no_suspend_notes;
+  // Lines carrying a `// lint: lock-escapes` annotation: the function
+  // declared on (or directly below) such a line intentionally transfers
+  // ownership of a held lock out of its own frame (returns it held, or hands
+  // it to a spawned coroutine), so the lock-balance held-at-exit check is
+  // waived for it. Audited: an annotation on a function with nothing held at
+  // any exit is an error.
+  std::set<int> lock_escapes_lines;
+  // Every `lock-escapes` annotation positionally, for the audit (rule field
+  // is always "lock-escapes").
+  std::vector<SuppressionNote> lock_escapes_notes;
 };
 
 // Tokenizes `source`. Never fails: unrecognized bytes are skipped.

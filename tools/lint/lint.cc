@@ -143,6 +143,15 @@ bool IsStatementKeyword(const std::string& s) {
 
 }  // namespace
 
+const std::vector<std::string>& Linter::KnownRules() {
+  static const std::vector<std::string> kRules = {
+      "await-cached-size", "await-stale-ref", "coro-lambda",        "coro-ref",
+      "double-acquire",    "lock-balance",    "lock-order",         "nondet",
+      "ordered",           "suppression-audit", "suspend-escape",   "task-dropped",
+      "trace-span-balance", "unused-status"};
+  return kRules;
+}
+
 bool Linter::InOrderSensitiveDir(const std::string& path) {
   static const char* kDirs[] = {"src/sim/",  "src/net/",   "src/rpc/",  "src/nfs/",
                                 "src/snfs/", "src/nqnfs/", "src/cache/"};
@@ -316,6 +325,36 @@ std::vector<Diagnostic> Linter::Run() {
   callgraph_.Finalize();
 
   std::vector<Diagnostic> out;
+
+  // Lock-discipline pass: harvest lock classes repo-wide, flow-analyze every
+  // body, then run the may-acquire fixpoint + lock-order cycle check. The
+  // sink maps a (use line, binding line) pair onto the suppression machinery:
+  // a `-ok` comment on either line absorbs the diagnostic, matching how the
+  // flow rules treat bindings.
+  lockpass_ = LockPass(&callgraph_);
+  for (const FileState& fs : files_) {
+    lockpass_.CollectClasses(fs.path, fs.lex);
+  }
+  std::map<std::string, const FileState*> by_path;
+  for (const FileState& fs : files_) {
+    by_path[fs.path] = &fs;
+  }
+  LockPass::EmitFn lock_emit = [&](const std::string& file, int line, int bind_line,
+                                   const std::string& rule, std::string message) {
+    auto it = by_path.find(file);
+    if (it == by_path.end()) {
+      return;
+    }
+    if (bind_line != line && Suppressed(*it->second, bind_line, rule)) {
+      return;
+    }
+    Emit(*it->second, line, rule, std::move(message), out);
+  };
+  for (const FileState& fs : files_) {
+    lockpass_.AnalyzeFile(fs.path, fs.lex, lock_emit);
+  }
+  lockpass_.Finalize(lock_emit);
+
   for (const FileState& fs : files_) {
     LintFile(fs, out);
   }
@@ -352,17 +391,14 @@ void Linter::Emit(const FileState& fs, int line, const std::string& rule, std::s
 // --- rule: suppression-audit -------------------------------------------------
 
 void Linter::CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out) {
-  static const std::set<std::string> kKnownRules = {
-      "coro-ref",       "coro-lambda",     "task-dropped",      "nondet",
-      "ordered",        "unused-status",   "await-stale-ref",   "await-cached-size",
-      "suspend-escape", "trace-span-balance", "suppression-audit"};
+  const std::vector<std::string>& known = KnownRules();
   for (const SuppressionNote& note : fs.lex.notes) {
     // Auditing audit suppressions would make `suppression-audit-ok`
     // self-justifying; leave them alone.
     if (note.rule == "suppression-audit") {
       continue;
     }
-    if (kKnownRules.count(note.rule) == 0) {
+    if (std::find(known.begin(), known.end(), note.rule) == known.end()) {
       Emit(fs, note.comment_line, "suppression-audit",
            "`// lint: " + note.rule + "-ok` names an unknown rule id; fix the spelling or "
            "remove the comment",
@@ -415,6 +451,29 @@ void Linter::CheckSuppressions(const FileState& fs, std::vector<Diagnostic>& out
                  "ignored — remove the annotation",
              out);
         break;
+    }
+  }
+  // `// lint: lock-escapes` annotations: each must pin a function some
+  // analyzed path of which really does exit holding a lock — otherwise the
+  // waiver is dead weight (or worse, masks a future leak).
+  for (const SuppressionNote& note : fs.lex.lock_escapes_notes) {
+    std::string qual;
+    for (int line : note.covered) {
+      qual = callgraph_.LockEscapeQualAt(fs.path, line);
+      if (!qual.empty()) {
+        break;
+      }
+    }
+    if (qual.empty()) {
+      Emit(fs, note.comment_line, "suppression-audit",
+           "`// lint: lock-escapes` is not attached to any function declaration; move it onto "
+           "the declaration line (or the line above) or remove it",
+           out);
+    } else if (!lockpass_.Escapes(qual)) {
+      Emit(fs, note.comment_line, "suppression-audit",
+           "`// lint: lock-escapes` pins `" + qual +
+               "`, but no analyzed path of it exits holding a lock; remove the annotation",
+           out);
     }
   }
 }

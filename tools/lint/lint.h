@@ -91,7 +91,33 @@
 //                     Also audits `// lint: no-suspend` annotations: one
 //                     that pins no function, pins a function that was never
 //                     may-suspend, or tries to waive a literal
-//                     co_await/.resume() is an error.
+//                     co_await/.resume() is an error. And audits
+//                     `// lint: lock-escapes` annotations: one that attaches
+//                     to no function, or to a function no analyzed path of
+//                     which exits holding a lock, is an error.
+//
+// Lock-discipline rules (see locks.h for the full contract). These run on
+// the same statement-tree walk and call graph; lock classes are sim::Mutex /
+// sim::Semaphore members and `sim::Mutex&`-returning accessors, harvested
+// repo-wide:
+//
+//  lock-balance       A `co_await m.Acquire()` that can reach a function
+//                     exit — including early `co_return` error paths and
+//                     the hidden exits inside `[CO_]RETURN_IF_ERROR` —
+//                     without `m.Release()`. Locks are tracked through alias
+//                     bindings and the sim::ScopedLock RAII guard; a
+//                     function that intentionally exits holding a lock
+//                     carries `// lint: lock-escapes` (audited), and a
+//                     caller binding `x = co_await Escaper(...)` from an
+//                     annotated escaper inherits a must-release obligation.
+//  double-acquire     Re-acquiring a sim::Mutex the current path already
+//                     holds — directly or by calling a function whose
+//                     transitive may-acquire set contains the held mutex.
+//                     On a FIFO mutex this is a guaranteed self-deadlock.
+//  lock-order         A cycle in the repo-wide lock-order graph (edge A->B
+//                     when B is acquired, directly or via a callee, while A
+//                     is held): two activities can each hold one lock and
+//                     block forever on the other.
 //
 // Unstable sources are inferred from declarations repo-wide: any function
 // declared to return `T*` or `base::Result<T*>`, plus any function whose
@@ -110,6 +136,7 @@
 
 #include "tools/lint/callgraph.h"
 #include "tools/lint/lexer.h"
+#include "tools/lint/locks.h"
 
 namespace lint {
 
@@ -157,6 +184,14 @@ class Linter {
   // Run(); drives `--format=suspend`.
   const CallGraph& callgraph() const { return callgraph_; }
 
+  // The lock pass with per-function acquire/release/may-acquire summaries.
+  // Valid after Run(); drives `--format=locks`.
+  const LockPass& locks() const { return lockpass_; }
+
+  // Every rule id the linter can emit, sorted. Drives the SARIF rules array,
+  // the per-rule count summary, and the suppression-audit spell check.
+  static const std::vector<std::string>& KnownRules();
+
  private:
   struct FileState {
     std::string path;
@@ -188,6 +223,8 @@ class Linter {
   std::vector<FileState> files_;
   // Repo-wide call graph + may-suspend fixpoint (rebuilt in Run()).
   CallGraph callgraph_;
+  // Lock-discipline pass (rebuilt in Run(); consults callgraph_).
+  LockPass lockpass_;
   // Global function tables (populated after all AddFile calls, in Run()).
   std::map<std::string, int> task_fns_;
   std::set<std::string> status_fns_;

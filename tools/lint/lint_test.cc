@@ -237,6 +237,99 @@ TEST(SnfslintTest, TraceSpanBalanceQuiet) {
   EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
 }
 
+TEST(SnfslintTest, LockBalanceFires) {
+  // An early co_return, a fall-off-the-end with an accessor-minted lock, a
+  // maybe-held acquire never released, the hidden CO_RETURN_IF_ERROR exit,
+  // and a dropped escaped-lock obligation.
+  std::vector<std::string> rules = RulesFiredOn("lock_balance_bad.cc", "lock_balance_bad.cc");
+  EXPECT_EQ(CountRule(rules, "lock-balance"), 5) << ::testing::PrintToString(rules);
+  EXPECT_EQ(CountRule(rules, "suppression-audit"), 0) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, LockBalanceQuiet) {
+  // Release-on-every-path, ScopedLock, the null-guard pattern, a discharged
+  // escaped-lock obligation, an annotated semaphore handoff, and the
+  // receiving side's bare Release are all clean — including both
+  // lock-escapes annotations auditing as used.
+  std::vector<std::string> rules = RulesFiredOn("lock_balance_good.cc", "lock_balance_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, DoubleAcquireFires) {
+  // Direct re-acquire, an unreleased loop back-edge, and a callee whose
+  // may-acquire set contains the held mutex.
+  std::vector<std::string> rules =
+      RulesFiredOn("double_acquire_bad.cc", "double_acquire_bad.cc");
+  EXPECT_EQ(CountRule(rules, "double-acquire"), 3) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, DoubleAcquireQuiet) {
+  // Re-acquire after release, counting semaphores, distinct accessor
+  // instances, calls after release, and accessor families across calls.
+  std::vector<std::string> rules =
+      RulesFiredOn("double_acquire_good.cc", "double_acquire_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, LockOrderFires) {
+  // Two balanced functions acquiring the same pair in opposite orders: one
+  // diagnostic per cycle, not per edge.
+  std::vector<std::string> rules = RulesFiredOn("lock_order_bad.cc", "lock_order_bad.cc");
+  EXPECT_EQ(CountRule(rules, "lock-order"), 1) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, LockOrderQuiet) {
+  // A consistent global order, including an edge contributed through a
+  // callee's may-acquire set.
+  std::vector<std::string> rules = RulesFiredOn("lock_order_good.cc", "lock_order_good.cc");
+  EXPECT_TRUE(rules.empty()) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, LockEscapesAnnotationAudited) {
+  // An annotation attached to nothing and one pinning a function that never
+  // exits holding a lock are each suppression-audit errors.
+  Linter linter;
+  linter.AddFile("q.h",
+                 "struct Q {\n"
+                 "  // lint: lock-escapes\n"
+                 "  sim::Task<void> Balanced();\n"
+                 "  sim::Mutex mu_;\n"
+                 "};\n"
+                 "// lint: lock-escapes\n"
+                 "int stray = 0;\n");
+  linter.AddFile("q.cc",
+                 "sim::Task<void> Q::Balanced() {\n"
+                 "  co_await mu_.Acquire();\n"
+                 "  mu_.Release();\n"
+                 "}\n");
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : linter.Run()) {
+    rules.push_back(d.rule);
+  }
+  EXPECT_EQ(CountRule(rules, "suppression-audit"), 2) << ::testing::PrintToString(rules);
+}
+
+TEST(SnfslintTest, LockSummariesExposed) {
+  // The --format=locks surface: per-function summaries with the transitive
+  // may-acquire closure, harvested classes, and escape status.
+  Linter linter;
+  linter.AddFile("lock_order_good.cc", ReadFixture("lock_order_good.cc"));
+  linter.AddFile("lock_balance_good.cc", ReadFixture("lock_balance_good.cc"));
+  (void)linter.Run();
+  const LockPass& locks = linter.locks();
+  ASSERT_EQ(locks.classes().count("Pair::flush_"), 1u);
+  ASSERT_EQ(locks.classes().count("Store::FileLock"), 1u);
+  EXPECT_TRUE(locks.classes().at("Store::FileLock").is_accessor);
+  EXPECT_FALSE(locks.classes().at("Store::slots_").is_mutex);
+  auto it = locks.functions().find("Pair::FlushThenLogViaCallee");
+  ASSERT_NE(it, locks.functions().end());
+  EXPECT_EQ(it->second.may_acquire.count("Pair::flush_"), 1u);
+  EXPECT_EQ(it->second.may_acquire.count("Pair::log_"), 1u)
+      << "callee's acquire should propagate through the fixpoint";
+  EXPECT_TRUE(locks.Escapes("Store::TakeForWrite"));
+  EXPECT_FALSE(locks.Escapes("Store::ReleaseOnEveryPath"));
+}
+
 TEST(SnfslintTest, SuppressionAuditFires) {
   // One suppression that absorbs nothing and one naming an unknown rule.
   std::vector<std::string> rules =

@@ -1,0 +1,1220 @@
+// Lock-discipline flow analysis (see locks.h for the contract).
+//
+// Structure mirrors flow.cc: a per-file token-geometry scan, a per-function
+// statement walker over an abstract state, and branch/scope merge rules. The
+// state here tracks held lock *instances* (keyed by class id, plus the
+// spelled accessor argument for accessor-minted locks), alias bindings from
+// local names to instances, and ScopedLock guards (released by the block
+// that declares them).
+#include "tools/lint/locks.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <tuple>
+
+namespace lint {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsIdent(const std::vector<Token>& t, size_t i, const char* text = nullptr) {
+  return i < t.size() && t[i].kind == TokKind::kIdent && (text == nullptr || t[i].text == text);
+}
+
+bool IsPunct(const std::vector<Token>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == text;
+}
+
+// Keywords that look like call sites (`ident (`) but are not.
+bool IsCallKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",     "for",      "switch",   "catch",  "return", "co_return",
+      "co_await", "co_yield", "sizeof",  "alignof",  "typeid", "new",    "delete",
+      "throw",  "noexcept",  "decltype", "alignas",  "assert", "static_assert",
+      "defined", "operator"};
+  return kKeywords.count(s) > 0;
+}
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "while" || s == "for" || s == "switch" || s == "catch";
+}
+
+// Per-file token geometry: bracket matching, class context, lambda bounds,
+// function-signature location. Same shape as callgraph.cc's FileScan.
+struct Scan {
+  const std::vector<Token>& t;
+  std::vector<size_t> match;
+  std::vector<size_t> open_of;
+  std::vector<std::string> cls;
+  // Class body ranges (open brace index, name) for member-lock harvesting.
+  std::vector<std::pair<size_t, std::string>> class_bodies;
+
+  explicit Scan(const std::vector<Token>& tokens) : t(tokens) {
+    BuildMatchTables();
+    BuildClassContext();
+  }
+
+  void BuildMatchTables() {
+    match.assign(t.size(), kNpos);
+    open_of.assign(t.size(), kNpos);
+    std::vector<size_t> stack;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t[i].text;
+      if (p == "(" || p == "{" || p == "[") {
+        stack.push_back(i);
+      } else if (p == ")" || p == "}" || p == "]") {
+        const char* want = p == ")" ? "(" : p == "}" ? "{" : "[";
+        while (!stack.empty() && t[stack.back()].text != want) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          match[stack.back()] = i;
+          open_of[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  void BuildClassContext() {
+    cls.assign(t.size(), std::string());
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!IsIdent(t, i) ||
+          (t[i].text != "class" && t[i].text != "struct" && t[i].text != "union")) {
+        continue;
+      }
+      if (i > 0 && IsIdent(t, i - 1, "enum")) {
+        continue;
+      }
+      size_t j = i + 1;
+      std::string name;
+      while (IsIdent(t, j)) {
+        name = t[j].text;
+        ++j;
+      }
+      if (name.empty()) {
+        continue;
+      }
+      for (size_t k = j; k < t.size() && k < j + 64; ++k) {
+        if (IsPunct(t, k, ";") || IsPunct(t, k, ")") || IsPunct(t, k, "=")) {
+          break;
+        }
+        if (IsPunct(t, k, "{")) {
+          if (match[k] != kNpos) {
+            class_bodies.push_back({k, name});
+          }
+          break;
+        }
+      }
+    }
+    std::vector<std::pair<size_t, std::string>> stack;  // (closer index, name)
+    size_t next_open = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      while (!stack.empty() && i > stack.back().first) {
+        stack.pop_back();
+      }
+      if (next_open < class_bodies.size() && class_bodies[next_open].first == i) {
+        stack.push_back({match[i], class_bodies[next_open].second});
+        ++next_open;
+      }
+      if (!stack.empty()) {
+        cls[i] = stack.back().second;
+      }
+    }
+  }
+
+  bool IsLambdaStart(size_t i) const {
+    if (!IsPunct(t, i, "[") || IsPunct(t, i + 1, "[")) {
+      return false;
+    }
+    if (i > 0 && (t[i - 1].kind == TokKind::kIdent || t[i - 1].kind == TokKind::kNumber ||
+                  IsPunct(t, i - 1, ")") || IsPunct(t, i - 1, "]"))) {
+      return false;
+    }
+    return true;
+  }
+
+  size_t SkipLambda(size_t i) const {
+    size_t close = match[i];
+    if (close == kNpos) {
+      return kNpos;
+    }
+    size_t j = close + 1;
+    if (IsPunct(t, j, "(")) {
+      if (match[j] == kNpos) {
+        return kNpos;
+      }
+      j = match[j] + 1;
+    }
+    for (size_t k = j; k < t.size() && k < j + 40; ++k) {
+      if (IsPunct(t, k, "{")) {
+        return match[k] == kNpos ? kNpos : match[k] + 1;
+      }
+      if (IsPunct(t, k, ";") || IsPunct(t, k, ")") || IsPunct(t, k, ",")) {
+        break;
+      }
+    }
+    return kNpos;
+  }
+
+  // For a function body opening at `{` index b, the index of the function
+  // name's last component (kNpos for control blocks, lambdas, namespaces).
+  size_t SignatureName(size_t b) const {
+    size_t j = b;
+    while (j > 0) {
+      --j;
+      const Token& tok = t[j];
+      if (tok.kind == TokKind::kIdent) {
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == "::" || tok.text == "<" || tok.text == ">" || tok.text == "*" ||
+           tok.text == "&" || tok.text == "->" || tok.text == ",")) {
+        continue;
+      }
+      break;
+    }
+    while (true) {
+      if (!IsPunct(t, j, ")") && !IsPunct(t, j, "}")) {
+        return kNpos;
+      }
+      size_t open = open_of[j];
+      if (open == kNpos || open == 0 || !IsIdent(t, open - 1)) {
+        return kNpos;
+      }
+      size_t head = open - 1;
+      while (head >= 2 && IsPunct(t, head - 1, "::") && IsIdent(t, head - 2)) {
+        head -= 2;
+      }
+      if (head > 0 && (IsPunct(t, head - 1, ":") || IsPunct(t, head - 1, ","))) {
+        if (head < 2) {
+          return kNpos;
+        }
+        j = head - 2;
+        continue;
+      }
+      size_t name = open - 1;
+      if (IsControlKeyword(t[name].text) || (name > 0 && IsIdent(t, name - 1, "operator")) ||
+          t[name].text == "operator") {
+        return kNpos;
+      }
+      return name;
+    }
+  }
+};
+
+// One held lock on the current path.
+struct HeldLock {
+  int line = 0;        // acquire line
+  bool firm = true;    // held on every path reaching here (vs maybe)
+  bool scoped = false; // ScopedLock guard: released by its declaring scope
+  std::string cls;     // lock class id; empty for escaped-lock obligations
+};
+
+struct LockState {
+  std::map<std::string, HeldLock> held;          // instance key -> info
+  std::map<std::string, std::string> aliases;    // local name -> instance key
+  std::map<std::string, std::string> scoped_vars;  // ScopedLock name -> key
+  std::set<std::string> released;                // keys released on this path
+  bool reachable = true;
+};
+
+// Re-scopes `inner` (a nested block's exit state) onto `outer`. Held and
+// released sets propagate wholesale (a lock acquired in a block stays held
+// past it); ScopedLock guards declared inside the block release at its
+// closing brace; aliases propagate too (the FlushFile pattern binds an alias
+// inside an `if` arm and releases through it afterwards).
+void MergeScope(LockState& outer, const LockState& inner) {
+  LockState merged = inner;
+  for (const auto& [var, key] : inner.scoped_vars) {
+    if (outer.scoped_vars.count(var) == 0) {
+      merged.held.erase(key);
+      merged.released.insert(key);
+    }
+  }
+  merged.scoped_vars = outer.scoped_vars;
+  outer = std::move(merged);
+}
+
+// Joins two branch exit states into `out` (the state at the branch point).
+// A key held in every reachable branch stays held (firm = all-firm); a key
+// held in only some branches becomes maybe-held — unless some reachable
+// non-holding branch explicitly released it and the entry state did not
+// firmly hold it, the conditional-release (null-guard) pattern, which drops
+// the key quietly.
+void MergeBranches(LockState& out, const LockState& a, const LockState& b) {
+  const LockState* branches[2] = {&a, &b};
+  int reachable_n = 0;
+  for (const LockState* s : branches) {
+    if (s->reachable) {
+      ++reachable_n;
+    }
+  }
+  std::map<std::string, HeldLock> merged;
+  std::map<std::string, std::vector<const HeldLock*>> views;
+  for (const LockState* s : branches) {
+    if (!s->reachable) {
+      continue;
+    }
+    for (const auto& [k, h] : s->held) {
+      views[k].push_back(&h);
+    }
+  }
+  for (const auto& [k, hs] : views) {
+    HeldLock h = *hs[0];
+    for (const HeldLock* other : hs) {
+      h.firm = h.firm && other->firm;
+      h.scoped = h.scoped || other->scoped;
+      h.line = std::min(h.line, other->line);
+    }
+    if (static_cast<int>(hs.size()) == reachable_n) {
+      merged[k] = h;
+      continue;
+    }
+    bool released_elsewhere = false;
+    for (const LockState* s : branches) {
+      if (s->reachable && s->held.count(k) == 0 && s->released.count(k) > 0) {
+        released_elsewhere = true;
+      }
+    }
+    auto entry = out.held.find(k);
+    bool entry_firm = entry != out.held.end() && entry->second.firm;
+    if (released_elsewhere && !entry_firm) {
+      continue;  // null-guard conditional release: drop quietly
+    }
+    h.firm = false;
+    merged[k] = h;
+  }
+  std::set<std::string> rel = out.released;
+  std::map<std::string, std::string> aliases = out.aliases;
+  std::map<std::string, std::string> scoped = out.scoped_vars;
+  for (const LockState* s : branches) {
+    rel.insert(s->released.begin(), s->released.end());
+    for (const auto& [name, key] : s->aliases) {
+      auto [it, inserted] = aliases.insert({name, key});
+      if (!inserted && it->second != key) {
+        aliases.erase(it);  // conflicting rebinds: unknown
+      }
+    }
+    for (const auto& [name, key] : s->scoped_vars) {
+      scoped.insert({name, key});
+    }
+  }
+  out.held = std::move(merged);
+  out.released = std::move(rel);
+  out.aliases = std::move(aliases);
+  out.scoped_vars = std::move(scoped);
+  out.reachable = a.reachable || b.reachable;
+}
+
+// Statement walker for one function body.
+class FnAnalyzer {
+ public:
+  FnAnalyzer(const Scan& scan, const std::map<std::string, LockClass>& classes,
+             const CallGraph* cg, FnLocks& fn, bool annotated,
+             const LockPass::EmitFn& emit, const std::string& path)
+      : t_(scan.t),
+        scan_(scan),
+        classes_(classes),
+        cg_(cg),
+        fn_(fn),
+        annotated_(annotated),
+        emit_(emit),
+        path_(path) {
+    size_t qpos = fn_.qual.find("::");
+    if (qpos != std::string::npos) {
+      caller_class_ = fn_.qual.substr(0, qpos);
+    }
+  }
+
+  void Run(size_t body_open) {
+    LockState st;
+    AnalyzeStmtList(body_open + 1, scan_.match[body_open], st);
+    if (st.reachable) {
+      size_t close = scan_.match[body_open];
+      ExitCheck(st, close < t_.size() ? t_[close].line : 0);
+    }
+  }
+
+ private:
+  // --- statement walker (structure mirrors flow.cc) -------------------------
+
+  size_t StmtEnd(size_t pos, size_t end) const {
+    for (size_t i = pos; i < end; ++i) {
+      if (t_[i].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t_[i].text;
+      if (p == "(" || p == "[" || p == "{") {
+        if (scan_.match[i] != kNpos && scan_.match[i] < end) {
+          i = scan_.match[i];
+          continue;
+        }
+        return end;
+      }
+      if (p == ";" || p == "}") {
+        return i;
+      }
+    }
+    return end;
+  }
+
+  void AnalyzeStmtList(size_t begin, size_t end, LockState& st) {
+    size_t pos = begin;
+    size_t guard = 0;
+    while (pos < end && guard++ < t_.size()) {
+      pos = AnalyzeStmt(pos, end, st);
+    }
+  }
+
+  size_t AnalyzeStmt(size_t pos, size_t end, LockState& st) {
+    if (pos >= end) {
+      return end;
+    }
+    if (IsPunct(t_, pos, ";")) {
+      return pos + 1;
+    }
+    if (IsPunct(t_, pos, "{")) {
+      size_t close = scan_.match[pos];
+      if (close == kNpos || close > end) {
+        return end;
+      }
+      LockState inner = st;
+      AnalyzeStmtList(pos + 1, close, inner);
+      MergeScope(st, inner);
+      return close + 1;
+    }
+    if (t_[pos].kind == TokKind::kIdent) {
+      const std::string& kw = t_[pos].text;
+      if (kw == "if") {
+        return AnalyzeIf(pos, end, st);
+      }
+      if (kw == "while") {
+        return AnalyzeWhile(pos, end, st);
+      }
+      if (kw == "do") {
+        return AnalyzeDo(pos, end, st);
+      }
+      if (kw == "for") {
+        return AnalyzeFor(pos, end, st);
+      }
+      if (kw == "switch") {
+        return AnalyzeSwitch(pos, end, st);
+      }
+      if (kw == "try") {
+        return AnalyzeTry(pos, end, st);
+      }
+      if (kw == "return" || kw == "co_return") {
+        size_t semi = StmtEnd(pos + 1, end);
+        ProcessStmt(pos + 1, semi, st);
+        if (st.reachable) {
+          ExitCheck(st, t_[pos].line);
+        }
+        st.reachable = false;
+        return semi + 1;
+      }
+      if (kw == "throw") {
+        size_t semi = StmtEnd(pos + 1, end);
+        ProcessStmt(pos + 1, semi, st);
+        st.reachable = false;  // unwinds; catch-side release is out of scope
+        return semi + 1;
+      }
+      if (kw == "CO_RETURN_IF_ERROR" || kw == "RETURN_IF_ERROR" ||
+          kw == "CO_ASSIGN_OR_RETURN" || kw == "ASSIGN_OR_RETURN") {
+        // Hidden conditional exit: the error branch leaves the function here.
+        size_t semi = StmtEnd(pos, end);
+        ProcessStmt(pos, semi, st);
+        if (st.reachable) {
+          ExitCheck(st, t_[pos].line);
+        }
+        return semi + 1;
+      }
+      if (kw == "break" || kw == "continue" || kw == "goto") {
+        st.reachable = false;
+        return StmtEnd(pos, end) + 1;
+      }
+      if (kw == "case") {
+        for (size_t i = pos + 1; i < end; ++i) {
+          if (IsPunct(t_, i, ":")) {
+            return i + 1;
+          }
+        }
+        return end;
+      }
+      if (kw == "default" && IsPunct(t_, pos + 1, ":")) {
+        return pos + 2;
+      }
+      if (kw == "else") {
+        return AnalyzeStmt(pos + 1, end, st);
+      }
+    }
+    size_t semi = StmtEnd(pos, end);
+    ProcessStmt(pos, semi, st);
+    return semi + 1;
+  }
+
+  size_t AnalyzeIf(size_t pos, size_t end, LockState& st) {
+    size_t lparen = pos + 1;
+    if (IsIdent(t_, lparen, "constexpr")) {
+      ++lparen;
+    }
+    if (!IsPunct(t_, lparen, "(") || scan_.match[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = scan_.match[lparen];
+    ProcessStmt(lparen + 1, cclose, st);
+    LockState then_state = st;
+    size_t after_then = AnalyzeStmt(cclose + 1, end, then_state);
+    if (IsIdent(t_, after_then, "else") && after_then < end) {
+      LockState else_state = st;
+      size_t after_else = AnalyzeStmt(after_then + 1, end, else_state);
+      MergeBranches(st, then_state, else_state);
+      return after_else;
+    }
+    LockState skip_state = st;
+    MergeBranches(st, then_state, skip_state);
+    return after_then;
+  }
+
+  size_t AnalyzeWhile(size_t pos, size_t end, LockState& st) {
+    size_t lparen = pos + 1;
+    if (!IsPunct(t_, lparen, "(") || scan_.match[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = scan_.match[lparen];
+    LockState s = st;
+    size_t after = cclose + 1;
+    // Two passes: the second sees locks still held from the first iteration
+    // (that is what makes an unreleased loop re-acquire a double-acquire).
+    for (int pass = 0; pass < 2; ++pass) {
+      ProcessStmt(lparen + 1, cclose, s);
+      LockState body = s;
+      after = AnalyzeStmt(cclose + 1, end, body);
+      MergeScope(s, body);
+      if (!s.reachable) {
+        break;
+      }
+    }
+    LockState pre = st;
+    MergeBranches(st, s, pre);
+    st.reachable = true;
+    return after;
+  }
+
+  size_t AnalyzeDo(size_t pos, size_t end, LockState& st) {
+    LockState s = st;
+    size_t after_body = pos + 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      LockState body = s;
+      after_body = AnalyzeStmt(pos + 1, end, body);
+      MergeScope(s, body);
+      if (!s.reachable) {
+        s.reachable = true;
+      }
+      if (IsIdent(t_, after_body, "while") && IsPunct(t_, after_body + 1, "(") &&
+          scan_.match[after_body + 1] != kNpos) {
+        ProcessStmt(after_body + 2, scan_.match[after_body + 1], s);
+      }
+    }
+    MergeScope(st, s);
+    if (IsIdent(t_, after_body, "while") && IsPunct(t_, after_body + 1, "(") &&
+        scan_.match[after_body + 1] != kNpos) {
+      return StmtEnd(scan_.match[after_body + 1], end) + 1;
+    }
+    return after_body;
+  }
+
+  size_t AnalyzeFor(size_t pos, size_t end, LockState& st) {
+    size_t lparen = pos + 1;
+    if (!IsPunct(t_, lparen, "(") || scan_.match[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = scan_.match[lparen];
+    size_t colon = kNpos, semi1 = kNpos, semi2 = kNpos;
+    int depth = 0;
+    for (size_t j = lparen; j < cclose; ++j) {
+      if (t_[j].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t_[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      else if (p == ")" || p == "]" || p == "}") --depth;
+      else if (depth == 1 && p == ":" && semi1 == kNpos) { colon = j; break; }
+      else if (depth == 1 && p == ";") {
+        (semi1 == kNpos ? semi1 : semi2) = j;
+      }
+    }
+    LockState s = st;
+    if (colon != kNpos) {
+      ProcessStmt(colon + 1, cclose, s);
+    } else if (semi1 != kNpos) {
+      ProcessStmt(lparen + 1, semi1, s);
+    }
+    size_t after = cclose + 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      if (colon == kNpos && semi1 != kNpos) {
+        ProcessStmt(semi1 + 1, semi2 == kNpos ? cclose : semi2, s);
+      }
+      LockState body = s;
+      after = AnalyzeStmt(cclose + 1, end, body);
+      MergeScope(s, body);
+      if (!s.reachable) {
+        break;
+      }
+      if (colon == kNpos && semi2 != kNpos) {
+        ProcessStmt(semi2 + 1, cclose, s);
+      }
+    }
+    LockState pre = st;
+    MergeBranches(st, s, pre);
+    st.reachable = true;
+    return after;
+  }
+
+  size_t AnalyzeSwitch(size_t pos, size_t end, LockState& st) {
+    size_t lparen = pos + 1;
+    if (!IsPunct(t_, lparen, "(") || scan_.match[lparen] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    size_t cclose = scan_.match[lparen];
+    ProcessStmt(lparen + 1, cclose, st);
+    if (IsPunct(t_, cclose + 1, "{") && scan_.match[cclose + 1] != kNpos) {
+      LockState inner = st;
+      AnalyzeStmtList(cclose + 2, scan_.match[cclose + 1], inner);
+      inner.reachable = true;
+      MergeScope(st, inner);
+      return scan_.match[cclose + 1] + 1;
+    }
+    return AnalyzeStmt(cclose + 1, end, st);
+  }
+
+  size_t AnalyzeTry(size_t pos, size_t end, LockState& st) {
+    if (!IsPunct(t_, pos + 1, "{") || scan_.match[pos + 1] == kNpos) {
+      return StmtEnd(pos, end) + 1;
+    }
+    LockState entry = st;
+    LockState try_state = st;
+    AnalyzeStmtList(pos + 2, scan_.match[pos + 1], try_state);
+    MergeScope(st, try_state);
+    size_t next = scan_.match[pos + 1] + 1;
+    while (IsIdent(t_, next, "catch") && IsPunct(t_, next + 1, "(") &&
+           scan_.match[next + 1] != kNpos && IsPunct(t_, scan_.match[next + 1] + 1, "{") &&
+           scan_.match[scan_.match[next + 1] + 1] != kNpos) {
+      size_t body_open = scan_.match[next + 1] + 1;
+      LockState catch_state = entry;
+      AnalyzeStmtList(body_open + 1, scan_.match[body_open], catch_state);
+      LockState main_path = st;
+      MergeBranches(st, main_path, catch_state);
+      next = scan_.match[body_open] + 1;
+    }
+    return next;
+  }
+
+  // --- lock events ----------------------------------------------------------
+
+  // Class id of the accessor named `name` callable from this function:
+  // caller-class-qualified first, else a unique suffix match repo-wide.
+  std::string ResolveAccessor(const std::string& name) const {
+    if (!caller_class_.empty()) {
+      auto it = classes_.find(caller_class_ + "::" + name);
+      if (it != classes_.end() && it->second.is_accessor) {
+        return it->first;
+      }
+    }
+    std::string found;
+    for (const auto& [id, c] : classes_) {
+      if (!c.is_accessor) {
+        continue;
+      }
+      if (id.size() > name.size() + 2 &&
+          id.compare(id.size() - name.size(), name.size(), name) == 0 &&
+          id[id.size() - name.size() - 1] == ':') {
+        if (!found.empty()) {
+          return std::string();  // ambiguous
+        }
+        found = id;
+      }
+    }
+    return found;
+  }
+
+  // The lock instance named by the receiver chain ending at token `j` (the
+  // token just before `.Acquire` / `->Release` / the ScopedLock ctor's `)`).
+  // Empty when the receiver resolves to no known lock (conservative-quiet).
+  std::string KeyEndingAt(size_t j, const LockState& st, std::string* cls) const {
+    cls->clear();
+    if (IsPunct(t_, j, ")")) {
+      // Accessor call: `FileLock(req.fh)`.
+      size_t open = scan_.open_of[j];
+      if (open == kNpos || open == 0 || !IsIdent(t_, open - 1)) {
+        return std::string();
+      }
+      std::string id = ResolveAccessor(t_[open - 1].text);
+      if (id.empty()) {
+        return std::string();
+      }
+      std::string arg;
+      for (size_t k = open + 1; k < j; ++k) {
+        arg += t_[k].text;
+      }
+      *cls = id;
+      return id + "(" + arg + ")";
+    }
+    if (IsIdent(t_, j)) {
+      const std::string& name = t_[j].text;
+      auto al = st.aliases.find(name);
+      if (al != st.aliases.end()) {
+        std::string key = al->second;
+        size_t paren = key.find('(');
+        std::string id = paren == std::string::npos ? key : key.substr(0, paren);
+        if (classes_.count(id) > 0) {
+          *cls = id;
+        }
+        return key;
+      }
+      if (!caller_class_.empty()) {
+        auto it = classes_.find(caller_class_ + "::" + name);
+        if (it != classes_.end() && !it->second.is_accessor) {
+          *cls = it->first;
+          return it->first;
+        }
+      }
+    }
+    return std::string();
+  }
+
+  void DoAcquire(const std::string& key, const std::string& cls, int line, bool scoped,
+                 LockState& st) {
+    if (!cls.empty()) {
+      fn_.acquires.insert(cls);
+    }
+    bool is_mutex = !cls.empty() && classes_.at(cls).is_mutex;
+    auto it = st.held.find(key);
+    if (it != st.held.end() && it->second.firm && is_mutex &&
+        reported_.insert({key + "#da", line}).second) {
+      emit_(path_, line, it->second.line, "double-acquire",
+            "`" + key + "` is already held on this path (acquired at line " +
+                std::to_string(it->second.line) +
+                "); a second co_await ...Acquire() on a FIFO sim::Mutex queues this "
+                "activity behind itself and never returns (self-deadlock)");
+    }
+    if (!cls.empty()) {
+      for (const auto& [k, h] : st.held) {
+        if (h.firm && !h.cls.empty() && h.cls != cls) {
+          fn_.edges.insert({{h.cls, cls}, line});
+        }
+      }
+    }
+    st.held[key] = HeldLock{line, true, scoped, cls};
+    st.released.erase(key);
+  }
+
+  void DoRelease(const std::string& key, const std::string& cls, LockState& st) {
+    if (!cls.empty()) {
+      fn_.releases.insert(cls);
+    }
+    // Releasing a key this path never acquired stays quiet: ownership may
+    // have been received from an annotated escaper (the AsyncStore pattern).
+    st.held.erase(key);
+    st.released.insert(key);
+  }
+
+  void ExitCheck(const LockState& st, int line) {
+    for (const auto& [key, h] : st.held) {
+      if (h.scoped) {
+        continue;  // the guard's destructor releases during unwind
+      }
+      if (annotated_) {
+        fn_.escapes = true;  // waived by // lint: lock-escapes (audited)
+        continue;
+      }
+      if (!reported_.insert({key, line}).second) {
+        continue;
+      }
+      if (h.firm) {
+        emit_(path_, line, h.line, "lock-balance",
+              "`" + key + "` acquired at line " + std::to_string(h.line) +
+                  " is still held when this path exits the function; release it on every "
+                  "path, use sim::ScopedLock, or annotate the function `// lint: "
+                  "lock-escapes` if ownership intentionally transfers out");
+      } else {
+        emit_(path_, line, h.line, "lock-balance",
+              "`" + key + "` acquired at line " + std::to_string(h.line) +
+                  " (on only some paths) may still be held when this path exits the "
+                  "function and is never released; release it under the same condition "
+                  "or annotate `// lint: lock-escapes`");
+      }
+    }
+  }
+
+  // `sim::ScopedLock name(receiver);` — binds a guard.
+  void DetectScopedDecl(size_t begin, size_t end, LockState& st) {
+    size_t k = begin;
+    if (IsIdent(t_, k, "sim") && IsPunct(t_, k + 1, "::")) {
+      k += 2;
+    }
+    if (!IsIdent(t_, k, "ScopedLock") || !IsIdent(t_, k + 1) || !IsPunct(t_, k + 2, "(")) {
+      return;
+    }
+    size_t rp = scan_.match[k + 2];
+    if (rp == kNpos || rp > end) {
+      return;
+    }
+    std::string cls;
+    std::string key = KeyEndingAt(rp - 1, st, &cls);
+    if (!key.empty()) {
+      st.scoped_vars[t_[k + 1].text] = key;
+    }
+  }
+
+  // `lhs = rhs` at depth 0: alias bindings (`sim::Mutex& lock = FileLock(fh)`,
+  // `gate = &FileGate(fk)`) and escaped-lock obligations
+  // (`write_lock = co_await PrepareForeignWrite(...)`).
+  void DetectBinding(size_t begin, size_t end, LockState& st) {
+    size_t eq = kNpos;
+    int depth = 0;
+    for (size_t j = begin; j < end; ++j) {
+      if (t_[j].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& p = t_[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      else if (p == ")" || p == "]" || p == "}") --depth;
+      else if (p == "=" && depth == 0) {
+        eq = j;
+        break;
+      }
+    }
+    if (eq == kNpos || eq + 1 >= end) {
+      return;
+    }
+    std::string name;
+    for (size_t j = begin; j < eq; ++j) {
+      if (t_[j].kind == TokKind::kPunct &&
+          (t_[j].text == "." || t_[j].text == "->" || t_[j].text == "[")) {
+        return;  // member / subscript store
+      }
+      if (t_[j].kind == TokKind::kIdent) {
+        name = t_[j].text;
+      }
+    }
+    if (name.empty()) {
+      return;
+    }
+    size_t r = eq + 1;
+    if (IsIdent(t_, r, "co_await")) {
+      // `x = co_await F(...)`: an annotated escaper hands its lock to us.
+      size_t c = r + 1;
+      std::string qualifier;
+      while (IsIdent(t_, c) && IsPunct(t_, c + 1, "::")) {
+        qualifier = t_[c].text;
+        c += 2;
+      }
+      if (!IsIdent(t_, c) || !IsPunct(t_, c + 1, "(") || cg_ == nullptr) {
+        return;
+      }
+      for (const Function* cand : cg_->Resolve(qualifier, caller_class_, t_[c].text)) {
+        if (cand->lock_escapes) {
+          std::string key = "lock returned by `" + cand->qual + "`";
+          st.aliases[name] = key;
+          st.held[key] = HeldLock{t_[c].line, false, false, std::string()};
+          st.released.erase(key);
+          return;
+        }
+      }
+      return;
+    }
+    if (IsPunct(t_, r, "&")) {
+      ++r;
+    }
+    std::string cls;
+    std::string key;
+    if (IsIdent(t_, r) && IsPunct(t_, r + 1, "(") && scan_.match[r + 1] != kNpos &&
+        scan_.match[r + 1] < end) {
+      key = KeyEndingAt(scan_.match[r + 1], st, &cls);  // accessor call
+    } else if (IsIdent(t_, r) && (r + 1 >= end || IsPunct(t_, r + 1, ";"))) {
+      key = KeyEndingAt(r, st, &cls);  // alias copy or member name
+    }
+    if (!key.empty()) {
+      st.aliases[name] = key;
+    } else if (st.aliases.count(name) > 0 && IsIdent(t_, r, "nullptr")) {
+      st.aliases.erase(name);
+    }
+  }
+
+  void ProcessStmt(size_t begin, size_t end, LockState& st) {
+    if (!st.reachable || begin >= end) {
+      return;
+    }
+    DetectScopedDecl(begin, end, st);
+    DetectBinding(begin, end, st);
+    bool has_await = false;
+    for (size_t i = begin; i < end; ++i) {
+      if (IsIdent(t_, i, "co_await")) {
+        has_await = true;
+        break;
+      }
+    }
+    for (size_t i = begin; i < end; ++i) {
+      if (scan_.IsLambdaStart(i)) {
+        size_t past = scan_.SkipLambda(i);
+        if (past != kNpos && past <= end) {
+          i = past - 1;
+          continue;
+        }
+      }
+      if (t_[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string& id = t_[i].text;
+      if (id == "co_await" && IsIdent(t_, i + 1) && i + 2 >= end) {
+        // `co_await guard;` — a ScopedLock acquiring.
+        auto sv = st.scoped_vars.find(t_[i + 1].text);
+        if (sv != st.scoped_vars.end()) {
+          std::string key = sv->second;
+          size_t paren = key.find('(');
+          std::string cls = paren == std::string::npos ? key : key.substr(0, paren);
+          if (classes_.count(cls) == 0) {
+            cls.clear();
+          }
+          DoAcquire(key, cls, t_[i + 1].line, /*scoped=*/true, st);
+        }
+        continue;
+      }
+      bool method = IsPunct(t_, i + 1, "(") && i > 0 &&
+                    (IsPunct(t_, i - 1, ".") || IsPunct(t_, i - 1, "->"));
+      if (id == "Acquire" && method) {
+        // Without co_await the Acquirer is discarded and nothing locks.
+        if (has_await && i >= 2) {
+          std::string cls;
+          std::string key = KeyEndingAt(i - 2, st, &cls);
+          if (!key.empty()) {
+            DoAcquire(key, cls, t_[i].line, /*scoped=*/false, st);
+          }
+        }
+        continue;
+      }
+      if (id == "Release" && method) {
+        if (i >= 2) {
+          std::string cls;
+          std::string key = KeyEndingAt(i - 2, st, &cls);
+          if (!key.empty()) {
+            DoRelease(key, cls, st);
+          }
+        }
+        continue;
+      }
+      if (id == "Acquire" || id == "Release") {
+        continue;
+      }
+      if (!IsPunct(t_, i + 1, "(") || IsCallKeyword(id)) {
+        continue;
+      }
+      if (i > 0 && IsPunct(t_, i - 1, "~")) {
+        continue;
+      }
+      FnLocks::Call call;
+      call.name = id;
+      call.line = t_[i].line;
+      if (i >= 2 && IsPunct(t_, i - 1, "::") && IsIdent(t_, i - 2)) {
+        call.qualifier = t_[i - 2].text;
+      }
+      for (const auto& [k, h] : st.held) {
+        if (h.firm && !h.cls.empty()) {
+          call.held_classes.insert(h.cls);
+          call.held_lines.insert({h.cls, h.line});
+        }
+      }
+      if (seen_calls_.insert({call.qualifier, call.name, call.line}).second) {
+        fn_.calls.push_back(std::move(call));
+      }
+    }
+  }
+
+  const std::vector<Token>& t_;
+  const Scan& scan_;
+  const std::map<std::string, LockClass>& classes_;
+  const CallGraph* cg_;
+  FnLocks& fn_;
+  bool annotated_;
+  const LockPass::EmitFn& emit_;
+  const std::string& path_;
+  std::string caller_class_;
+  std::set<std::pair<std::string, int>> reported_;
+  std::set<std::tuple<std::string, std::string, int>> seen_calls_;
+};
+
+}  // namespace
+
+void LockPass::CollectClasses(const std::string& path, const LexResult& lex) {
+  (void)path;
+  const std::vector<Token>& t = lex.tokens;
+  Scan scan(t);
+  // Mutex&-returning accessors: `Mutex& Name(` anywhere (in-class declaration
+  // or out-of-line `Mutex& Class::Name(` definition).
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!IsIdent(t, i, "Mutex") || !IsPunct(t, i + 1, "&")) {
+      continue;
+    }
+    size_t j = i + 2;
+    std::string explicit_cls;
+    std::string name;
+    if (!IsIdent(t, j)) {
+      continue;
+    }
+    name = t[j].text;
+    while (IsPunct(t, j + 1, "::") && IsIdent(t, j + 2)) {
+      explicit_cls = name.empty() ? explicit_cls : t[j].text;
+      name = t[j + 2].text;
+      j += 2;
+    }
+    if (!IsPunct(t, j + 1, "(")) {
+      continue;
+    }
+    std::string cls = !explicit_cls.empty() ? explicit_cls : scan.cls[j];
+    if (cls.empty()) {
+      continue;  // free function returning Mutex&: no class to key by
+    }
+    std::string id = cls + "::" + name;
+    classes_[id] = LockClass{id, /*is_mutex=*/true, /*is_accessor=*/true};
+  }
+  // Mutex / Semaphore members at class-body depth 1 (skipping nested braces
+  // keeps method-body locals out).
+  for (const auto& [open, cls_name] : scan.class_bodies) {
+    size_t close = scan.match[open];
+    for (size_t i = open + 1; i < close; ++i) {
+      if (IsPunct(t, i, "{")) {
+        if (scan.match[i] != kNpos && scan.match[i] < close) {
+          i = scan.match[i];
+        }
+        continue;
+      }
+      bool is_mutex = IsIdent(t, i, "Mutex");
+      bool is_sem = IsIdent(t, i, "Semaphore");
+      if (!is_mutex && !is_sem) {
+        continue;
+      }
+      if (!IsIdent(t, i + 1)) {
+        continue;
+      }
+      // `Mutex name_;`, `Semaphore budget_{4};`, `Semaphore s_ = ...;` — but
+      // `Mutex Name(` here would be a member function returning Mutex.
+      if (!(IsPunct(t, i + 2, ";") || IsPunct(t, i + 2, "{") || IsPunct(t, i + 2, "="))) {
+        continue;
+      }
+      std::string id = cls_name + "::" + t[i + 1].text;
+      classes_[id] = LockClass{id, is_mutex, /*is_accessor=*/false};
+    }
+  }
+}
+
+void LockPass::AnalyzeFile(const std::string& path, const LexResult& lex,
+                           const EmitFn& emit) {
+  const std::vector<Token>& t = lex.tokens;
+  Scan scan(t);
+  for (size_t b = 0; b < t.size(); ++b) {
+    if (!IsPunct(t, b, "{") || scan.match[b] == kNpos) {
+      continue;
+    }
+    size_t name = scan.SignatureName(b);
+    if (name == kNpos) {
+      continue;
+    }
+    std::string last = t[name].text;
+    std::string qual = last;
+    if (name >= 2 && IsPunct(t, name - 1, "::") && IsIdent(t, name - 2)) {
+      qual = t[name - 2].text + "::" + last;
+    } else if (!scan.cls[name].empty()) {
+      qual = scan.cls[name] + "::" + last;
+    }
+    FnLocks& fn = fns_[qual];
+    if (fn.qual.empty()) {
+      fn.qual = qual;
+      fn.file = path;
+      fn.line = t[name].line;
+    }
+    const Function* cf = cg_ != nullptr ? cg_->Lookup(qual) : nullptr;
+    bool annotated = cf != nullptr && cf->lock_escapes;
+    fn.lock_escapes_annot = fn.lock_escapes_annot || annotated;
+    FnAnalyzer analyzer(scan, classes_, cg_, fn, annotated, emit, path);
+    analyzer.Run(b);
+  }
+}
+
+bool LockPass::Escapes(const std::string& qual) const {
+  auto it = fns_.find(qual);
+  return it != fns_.end() && it->second.escapes;
+}
+
+void LockPass::Finalize(const EmitFn& emit) {
+  finalized_ = true;
+  for (auto& [qual, fn] : fns_) {
+    fn.may_acquire = fn.acquires;
+  }
+  // Callee may-acquire sets, under the all-candidates-agree convention the
+  // may-suspend fixpoint uses: a class propagates through a call site only
+  // when every candidate the name resolves to may acquire it; a candidate
+  // with no analyzed body contributes nothing.
+  auto callee_acquires = [&](const FnLocks& fn, const FnLocks::Call& call,
+                             std::set<std::string>& out) {
+    out.clear();
+    if (cg_ == nullptr) {
+      return;
+    }
+    std::string caller_class;
+    size_t qpos = fn.qual.find("::");
+    if (qpos != std::string::npos) {
+      caller_class = fn.qual.substr(0, qpos);
+    }
+    std::vector<const Function*> cands = cg_->Resolve(call.qualifier, caller_class, call.name);
+    bool first = true;
+    for (const Function* cand : cands) {
+      auto it = fns_.find(cand->qual);
+      std::set<std::string> ma =
+          it == fns_.end() ? std::set<std::string>() : it->second.may_acquire;
+      if (first) {
+        out = std::move(ma);
+        first = false;
+      } else {
+        std::set<std::string> inter;
+        std::set_intersection(out.begin(), out.end(), ma.begin(), ma.end(),
+                              std::inserter(inter, inter.begin()));
+        out = std::move(inter);
+      }
+      if (out.empty()) {
+        return;
+      }
+    }
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [qual, fn] : fns_) {
+      std::set<std::string> ma;
+      for (const FnLocks::Call& call : fn.calls) {
+        callee_acquires(fn, call, ma);
+        for (const std::string& cls : ma) {
+          if (fn.may_acquire.insert(cls).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  // Interprocedural double-acquire and call-propagated order edges.
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>> edges;
+  for (const auto& [qual, fn] : fns_) {
+    for (const auto& [e, line] : fn.edges) {
+      edges.insert({e, {fn.file, line}});
+    }
+  }
+  for (const auto& [qual, fn] : fns_) {
+    std::set<std::string> ma;
+    for (const FnLocks::Call& call : fn.calls) {
+      if (call.held_classes.empty()) {
+        continue;
+      }
+      callee_acquires(fn, call, ma);
+      for (const std::string& cls : ma) {
+        auto lc = classes_.find(cls);
+        if (lc == classes_.end()) {
+          continue;
+        }
+        if (call.held_classes.count(cls) > 0) {
+          // A single-instance member mutex the callee re-acquires is a
+          // guaranteed self-deadlock; an accessor class names a family of
+          // locks whose arguments may differ across the call, so it stays
+          // conservative-quiet interprocedurally.
+          if (lc->second.is_mutex && !lc->second.is_accessor) {
+            emit(fn.file, call.line, call.held_lines.at(cls), "double-acquire",
+                 "calling `" + call.name + "(...)` while `" + cls +
+                     "` is held (acquired at line " +
+                     std::to_string(call.held_lines.at(cls)) +
+                     "); every candidate for the call may acquire `" + cls +
+                     "` again — self-deadlock on a FIFO sim::Mutex");
+          }
+          continue;
+        }
+        for (const std::string& held : call.held_classes) {
+          if (held != cls) {
+            edges.insert({{held, cls}, {fn.file, call.line}});
+          }
+        }
+      }
+    }
+  }
+  // Lock-order cycles: Tarjan SCC over the class-level graph; every SCC with
+  // two or more nodes is a set of locks some two activities can acquire in
+  // opposite orders. Self-edges cannot occur (filtered above; double-acquire
+  // owns same-lock re-acquisition).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [e, site] : edges) {
+    adj[e.first].push_back(e.second);
+    adj[e.second];  // ensure the node exists
+  }
+  std::map<std::string, int> index, low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+  std::function<void(const std::string&)> strongconnect = [&](const std::string& v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    for (const std::string& w : adj[v]) {
+      if (index.count(w) == 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack.count(w) > 0) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) {
+          break;
+        }
+      }
+      if (scc.size() >= 2) {
+        sccs.push_back(std::move(scc));
+      }
+    }
+  };
+  for (const auto& [v, nbrs] : adj) {
+    if (index.count(v) == 0) {
+      strongconnect(v);
+    }
+  }
+  for (std::vector<std::string>& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    std::set<std::string> members(scc.begin(), scc.end());
+    std::string cycle;
+    for (const std::string& m : scc) {
+      cycle += (cycle.empty() ? "" : ", ") + m;
+    }
+    // Report at the first (sorted) in-cycle edge's acquire site.
+    for (const auto& [e, site] : edges) {
+      if (members.count(e.first) == 0 || members.count(e.second) == 0) {
+        continue;
+      }
+      emit(site.first, site.second, site.second, "lock-order",
+           "lock-order cycle among {" + cycle + "}: `" + e.second +
+               "` is acquired here while `" + e.first +
+               "` is held, and another path acquires them in the opposite order — two "
+               "activities can each hold one lock and wait forever on the other; pick one "
+               "global order and acquire in it everywhere");
+      break;
+    }
+  }
+}
+
+}  // namespace lint

@@ -1,0 +1,153 @@
+// Lock-discipline analysis for snfslint (rules: lock-balance,
+// double-acquire, lock-order).
+//
+// The simulator's sim::Mutex is FIFO and non-reentrant, and the protocol
+// servers hang their correctness on per-file mutexes held across awaits —
+// which makes three bug classes statically checkable from the same token
+// streams and call graph the suspension rules use:
+//
+//  lock-balance    Every `co_await m.Acquire()` must reach `m.Release()` on
+//                  every path out of the function, including early
+//                  `co_return`s on error paths and the hidden exit inside
+//                  `[CO_]RETURN_IF_ERROR`. Locks are tracked through alias
+//                  bindings (`sim::Mutex& lock = FileLock(fh);`, `sim::Mutex*
+//                  gate = &FileGate(fk);`) and the `sim::ScopedLock` RAII
+//                  guard (released by its scope; never a balance error). A
+//                  lock acquired only on some paths (`if (...) { co_await
+//                  g->Acquire(); }`) is *maybe-held*: releasing it under a
+//                  null-guard is the accepted pattern and stays quiet, but a
+//                  maybe-held lock that reaches an exit with no release
+//                  anywhere is reported. Functions that intentionally exit
+//                  holding a lock — returning it to the caller or handing it
+//                  to a spawned coroutine — carry `// lint: lock-escapes` on
+//                  their declaration (audited; see below), and a caller that
+//                  binds `x = co_await Escaper(...)` from an annotated
+//                  escaper inherits a must-release obligation for `x`.
+//
+//  double-acquire  Acquiring a sim::Mutex the current path already holds —
+//                  directly, or by calling a function whose transitive
+//                  *may-acquire* set (propagated through the call graph like
+//                  the may-suspend fixpoint) contains a member mutex that is
+//                  firmly held at the call site. On a FIFO mutex this is a
+//                  guaranteed self-deadlock, not a latent risk. Semaphores
+//                  are counting and exempt. Accessor-minted locks
+//                  (`FileLock(fh)`) are compared intraprocedurally by their
+//                  spelled argument (`FileLock(a)` vs `FileLock(b)` differ);
+//                  interprocedurally only single-instance member locks are
+//                  reported, since an accessor names a family.
+//
+//  lock-order      A repo-wide lock-order graph: an edge A -> B is recorded
+//                  whenever lock class B is acquired (directly or via a
+//                  callee's may-acquire set) while A is held. A cycle means
+//                  two activities can block on each other's held lock —
+//                  reported as a potential deadlock at one acquire site per
+//                  cycle. Self-edges are excluded (double-acquire owns
+//                  those).
+//
+// Lock *classes* are harvested repo-wide before any body is analyzed:
+// `sim::Mutex` / `sim::Semaphore` members declared in class bodies
+// (`BufferCache::flush_behind_`), and `sim::Mutex&`-returning accessors
+// (`SnfsServer::FileLock`) whose every call mints a lock of that class.
+// Receivers that resolve to no known class stay conservative-quiet.
+//
+// The `// lint: lock-escapes` annotation is audited through
+// suppression-audit: one that attaches to no recorded function, or to a
+// function no analyzed path of which exits holding a lock, is an error. The
+// annotation waives the held-at-exit check for the whole function — its
+// paths transfer ownership by design and are reviewed by hand (see the
+// PrepareForeignWrite anatomy in DESIGN.md §7).
+//
+// Deliberate approximations: lambda bodies are not analyzed (none in the
+// tree takes locks); `m.Acquire()` without co_await acquires nothing at
+// runtime and is ignored; conditional release under a guard that the
+// analysis cannot correlate with the acquire condition is resolved by the
+// runtime owner CHECKs in sim::Mutex rather than statically.
+#ifndef TOOLS_LINT_LOCKS_H_
+#define TOOLS_LINT_LOCKS_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/callgraph.h"
+#include "tools/lint/lexer.h"
+
+namespace lint {
+
+// One lock class: a Mutex/Semaphore member or a Mutex&-returning accessor.
+struct LockClass {
+  std::string id;           // "SnfsServer::FileLock", "BufferCache::flush_behind_"
+  bool is_mutex = true;     // false: counting semaphore (no double-acquire)
+  bool is_accessor = false; // a family of locks minted per argument
+};
+
+// Per-function lock summary: drives --format=locks and the interprocedural
+// fixpoint. Keyed by the callgraph qualified name.
+struct FnLocks {
+  std::string qual;
+  std::string file;
+  int line = 0;
+  std::set<std::string> acquires;     // lock classes directly acquired
+  std::set<std::string> releases;     // lock classes directly released
+  std::set<std::string> may_acquire;  // transitive closure (Finalize)
+  bool escapes = false;               // some exit waived by lock-escapes held a lock
+  bool lock_escapes_annot = false;
+  // Call sites with the firmly-held lock classes at the call, for the
+  // interprocedural double-acquire check and call-edge harvesting.
+  struct Call {
+    std::string qualifier;  // explicit `A::` spelling, else ""
+    std::string name;
+    int line = 0;
+    std::set<std::string> held_classes;          // firmly held at the site
+    std::map<std::string, int> held_lines;       // class -> acquire line
+  };
+  std::vector<Call> calls;
+  // Direct order edges (held class, acquired class) -> acquire line.
+  std::map<std::pair<std::string, std::string>, int> edges;
+};
+
+class LockPass {
+ public:
+  // Sink: (file, use line, binding/acquire line, rule, message). A
+  // suppression on either line absorbs the diagnostic.
+  using EmitFn =
+      std::function<void(const std::string&, int, int, const std::string&, std::string)>;
+
+  LockPass() = default;
+  explicit LockPass(const CallGraph* cg) : cg_(cg) {}
+
+  // Phase 1: harvest lock classes (members + accessors) from one file. Run
+  // over every file before any AnalyzeFile call.
+  void CollectClasses(const std::string& path, const LexResult& lex);
+
+  // Phase 2: flow analysis of every function body in one file. Emits
+  // lock-balance and intraprocedural double-acquire diagnostics; fills the
+  // per-function summaries.
+  void AnalyzeFile(const std::string& path, const LexResult& lex, const EmitFn& emit);
+
+  // Phase 3: may-acquire fixpoint over the call graph, interprocedural
+  // double-acquire, and lock-order cycle detection. Call exactly once,
+  // after every AnalyzeFile.
+  void Finalize(const EmitFn& emit);
+
+  // True when the analyzed function `qual` exits holding a lock under a
+  // `// lint: lock-escapes` waiver (drives the annotation audit).
+  bool Escapes(const std::string& qual) const;
+
+  const std::map<std::string, LockClass>& classes() const { return classes_; }
+  // Summaries keyed by qualified name; may_acquire valid after Finalize().
+  const std::map<std::string, FnLocks>& functions() const { return fns_; }
+
+ private:
+  const CallGraph* cg_ = nullptr;
+  std::map<std::string, LockClass> classes_;
+  std::map<std::string, FnLocks> fns_;
+  bool finalized_ = false;
+};
+
+}  // namespace lint
+
+#endif  // TOOLS_LINT_LOCKS_H_

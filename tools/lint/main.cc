@@ -1,6 +1,6 @@
 // snfslint: project-specific static analysis for the Spritely NFS simulator.
 //
-// Usage: snfslint [--root DIR] [--format=gcc|json|sarif|suspend] [path...]
+// Usage: snfslint [--root DIR] [--format=gcc|json|sarif|suspend|locks] [path...]
 //
 // Paths (files or directories, searched recursively for .h/.cc/.cpp/.hpp)
 // are taken relative to --root (default: current directory); with no paths,
@@ -9,12 +9,15 @@
 // machine-readable array of {file, line, rule, message} objects;
 // --format=sarif prints a SARIF 2.1.0 log for GitHub code-scanning upload.
 // All three exit 1 when any diagnostic is found, with a per-rule count
-// summary on stderr. --format=suspend instead dumps the repo-wide
-// may-suspend classification — one `file:line: Qualified::Name: verdict
-// (reason)` line per known function — and always exits 0; it exists for
-// auditing the interprocedural fixpoint (see tools/lint/callgraph.h). See
-// tools/lint/lint.h for the rule list and the `// lint: <rule>-ok`
-// suppression syntax.
+// summary on stderr (printed even when clean, so CI logs show each rule ran).
+// --format=suspend instead dumps the repo-wide may-suspend classification —
+// one `file:line: Qualified::Name: verdict (reason)` line per known function
+// — and always exits 0; it exists for auditing the interprocedural fixpoint
+// (see tools/lint/callgraph.h). --format=locks likewise dumps the
+// per-function lock summaries — acquires/releases, the transitive
+// may-acquire closure, and lock-escapes status — for auditing the
+// lock-discipline rules (see tools/lint/locks.h). See tools/lint/lint.h for
+// the rule list and the `// lint: <rule>-ok` suppression syntax.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -103,14 +106,17 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "gcc" && format != "json" && format != "sarif" && format != "suspend") {
-        std::fprintf(stderr,
-                     "snfslint: unknown format '%s' (expected gcc, json, sarif, or suspend)\n",
-                     format.c_str());
+      if (format != "gcc" && format != "json" && format != "sarif" && format != "suspend" &&
+          format != "locks") {
+        std::fprintf(
+            stderr,
+            "snfslint: unknown format '%s' (expected gcc, json, sarif, suspend, or locks)\n",
+            format.c_str());
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: snfslint [--root DIR] [--format=gcc|json|sarif|suspend] [path...]\n");
+      std::printf(
+          "usage: snfslint [--root DIR] [--format=gcc|json|sarif|suspend|locks] [path...]\n");
       return 0;
     } else {
       args.push_back(arg);
@@ -164,15 +170,43 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (format == "sarif") {
-    // SARIF 2.1.0, the minimal shape GitHub code scanning accepts.
-    std::vector<std::string> rule_ids;
-    for (const lint::Diagnostic& d : diags) {
-      if (std::find(rule_ids.begin(), rule_ids.end(), d.rule) == rule_ids.end()) {
-        rule_ids.push_back(d.rule);
+  if (format == "locks") {
+    // Lock-summary dump: one line per function with any lock activity,
+    // sorted for diffing. `!` marks a lock-escapes exit.
+    std::vector<const lint::FnLocks*> fns;
+    for (const auto& [qual, fl] : linter.locks().functions()) {
+      if (fl.acquires.empty() && fl.releases.empty() && fl.may_acquire.empty() &&
+          !fl.escapes) {
+        continue;
       }
+      fns.push_back(&fl);
     }
-    std::sort(rule_ids.begin(), rule_ids.end());
+    std::sort(fns.begin(), fns.end(), [](const lint::FnLocks* a, const lint::FnLocks* b) {
+      return std::tie(a->file, a->line, a->qual) < std::tie(b->file, b->line, b->qual);
+    });
+    auto join = [](const std::set<std::string>& s) {
+      std::string out;
+      for (const std::string& e : s) {
+        if (!out.empty()) {
+          out += ", ";
+        }
+        out += e;
+      }
+      return out.empty() ? std::string("-") : out;
+    };
+    for (const lint::FnLocks* f : fns) {
+      std::printf("%s:%d: %s:%s acquires={%s} releases={%s} may-acquire={%s}\n",
+                  f->file.c_str(), f->line, f->qual.c_str(),
+                  f->escapes ? " escapes!" : "", join(f->acquires).c_str(),
+                  join(f->releases).c_str(), join(f->may_acquire).c_str());
+    }
+    return 0;
+  }
+  if (format == "sarif") {
+    // SARIF 2.1.0, the minimal shape GitHub code scanning accepts. The rules
+    // array lists every rule the tool knows, fired or not, so code-scanning
+    // dashboards show the full rule inventory.
+    const std::vector<std::string>& rule_ids = lint::Linter::KnownRules();
     std::printf("{\n");
     std::printf("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
     std::printf("  \"version\": \"2.1.0\",\n");
@@ -211,17 +245,19 @@ int main(int argc, char** argv) {
       std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.message.c_str());
     }
   }
-  if (!diags.empty()) {
-    std::map<std::string, int> by_rule;
-    for (const lint::Diagnostic& d : diags) {
-      ++by_rule[d.rule];
-    }
-    std::fprintf(stderr, "snfslint: %zu diagnostic(s):", diags.size());
+  // Per-rule counts, printed even on a clean run so CI logs show every rule
+  // was exercised (zeros elided; rule inventory comes from KnownRules()).
+  std::map<std::string, int> by_rule;
+  for (const lint::Diagnostic& d : diags) {
+    ++by_rule[d.rule];
+  }
+  std::fprintf(stderr, "snfslint: %zu diagnostic(s)", diags.size());
+  if (!by_rule.empty()) {
+    std::fprintf(stderr, ":");
     for (const auto& [rule, count] : by_rule) {
       std::fprintf(stderr, " %s=%d", rule.c_str(), count);
     }
-    std::fprintf(stderr, "\n");
-    return 1;
   }
-  return 0;
+  std::fprintf(stderr, "\n");
+  return diags.empty() ? 0 : 1;
 }

@@ -1,0 +1,39 @@
+// Fixture: double-acquire must fire on re-acquiring a held sim::Mutex —
+// directly, on a loop back-edge that never released, and through a callee
+// whose may-acquire set contains the held mutex.
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+struct Queue {
+  sim::Task<bool> Drain();
+  sim::Task<void> DirectReacquire();
+  sim::Task<void> LoopReacquire(int n);
+  sim::Task<void> LockedHelper();
+  sim::Task<void> CallsHelperWhileHeld();
+  sim::Mutex mu_;
+};
+
+sim::Task<void> Queue::DirectReacquire() {
+  co_await mu_.Acquire();
+  co_await mu_.Acquire();  // fires: FIFO mutex queues this activity behind itself
+  mu_.Release();
+}
+
+sim::Task<void> Queue::LoopReacquire(int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await mu_.Acquire();  // fires: still held from the previous iteration
+  }
+  mu_.Release();
+}
+
+sim::Task<void> Queue::LockedHelper() {
+  co_await mu_.Acquire();
+  co_await Drain();
+  mu_.Release();
+}
+
+sim::Task<void> Queue::CallsHelperWhileHeld() {
+  co_await mu_.Acquire();
+  co_await LockedHelper();  // fires: the callee re-acquires mu_
+  mu_.Release();
+}

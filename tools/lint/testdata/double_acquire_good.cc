@@ -1,0 +1,68 @@
+// Fixture: double-acquire must stay quiet on re-acquire after release, on
+// counting semaphores, on distinct accessor-minted instances, on a call made
+// after releasing, and on accessor families held across a call (the
+// arguments may differ, so the family stays conservative-quiet).
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+struct Queue {
+  sim::Task<bool> Drain();
+  sim::Mutex& FileLock(int id);
+  sim::Task<void> ReacquireAfterRelease();
+  sim::Task<void> SemReacquire();
+  sim::Task<void> TwoInstances();
+  sim::Task<void> LockedHelper();
+  sim::Task<void> CallsHelperAfterRelease();
+  sim::Task<void> LockOther(int id);
+  sim::Task<void> HoldOneLockAnother();
+  sim::Mutex mu_;
+  sim::Semaphore slots_{2};
+};
+
+sim::Task<void> Queue::ReacquireAfterRelease() {
+  co_await mu_.Acquire();
+  mu_.Release();
+  co_await mu_.Acquire();  // quiet: nothing held at this point
+  mu_.Release();
+}
+
+sim::Task<void> Queue::SemReacquire() {
+  co_await slots_.Acquire();
+  co_await slots_.Acquire();  // quiet: counting semaphore, not a mutex
+  slots_.Release();
+  slots_.Release();
+}
+
+sim::Task<void> Queue::TwoInstances() {
+  sim::Mutex& one = FileLock(1);
+  sim::Mutex& two = FileLock(2);
+  co_await one.Acquire();
+  co_await two.Acquire();  // quiet: a different instance of the family
+  two.Release();
+  one.Release();
+}
+
+sim::Task<void> Queue::LockedHelper() {
+  co_await mu_.Acquire();
+  co_await Drain();
+  mu_.Release();
+}
+
+sim::Task<void> Queue::CallsHelperAfterRelease() {
+  co_await mu_.Acquire();
+  mu_.Release();
+  co_await LockedHelper();  // quiet: mu_ already released
+}
+
+sim::Task<void> Queue::LockOther(int id) {
+  sim::Mutex& lock = FileLock(id);
+  co_await lock.Acquire();
+  lock.Release();
+}
+
+sim::Task<void> Queue::HoldOneLockAnother() {
+  sim::Mutex& one = FileLock(1);
+  co_await one.Acquire();
+  co_await LockOther(2);  // quiet: same family, different instance
+  one.Release();
+}

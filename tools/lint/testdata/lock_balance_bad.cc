@@ -1,0 +1,59 @@
+// Fixture: lock-balance must fire when an acquired lock can reach a
+// function exit unreleased — an early co_return, a fall-off-the-end, a
+// maybe-held acquire with no release anywhere, the hidden exit inside
+// CO_RETURN_IF_ERROR, and an escaped-lock obligation the caller forgets.
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+struct Store {
+  sim::Task<bool> Flush();
+  sim::Mutex& FileLock(int id);
+  // lint: lock-escapes
+  sim::Task<sim::Mutex*> TakeForWrite(int id);
+  sim::Task<void> LeakOnEarlyReturn(bool fail);
+  sim::Task<void> LeakOnFallOff(int id);
+  sim::Task<int> MaybeHeldNeverReleased(bool flag);
+  sim::Task<void> LeakThroughMacroExit();
+  sim::Task<void> ForgetEscapedLock();
+  sim::Mutex mu_;
+};
+
+sim::Task<void> Store::LeakOnEarlyReturn(bool fail) {
+  co_await mu_.Acquire();
+  if (fail) {
+    co_return;  // fires: mu_ still held on the error path
+  }
+  mu_.Release();
+}
+
+sim::Task<void> Store::LeakOnFallOff(int id) {
+  sim::Mutex& lock = FileLock(id);
+  co_await lock.Acquire();
+  co_await Flush();
+}  // fires: the accessor-minted lock is never released
+
+sim::Task<int> Store::MaybeHeldNeverReleased(bool flag) {
+  if (flag) {
+    co_await mu_.Acquire();
+  }
+  co_return 1;  // fires: maybe-held and never released anywhere
+}
+
+sim::Task<void> Store::LeakThroughMacroExit() {
+  co_await mu_.Acquire();
+  CO_RETURN_IF_ERROR(co_await Flush());  // fires: hidden exit with mu_ held
+  mu_.Release();
+}
+
+// The escaper itself is waived by the annotation; the obligation moves to
+// its caller, which here drops the returned lock on the floor.
+sim::Task<sim::Mutex*> Store::TakeForWrite(int id) {
+  sim::Mutex& lock = FileLock(id);
+  co_await lock.Acquire();
+  co_return &lock;
+}
+
+sim::Task<void> Store::ForgetEscapedLock() {
+  sim::Mutex* lock = co_await TakeForWrite(3);
+  co_await Flush();
+}  // fires: the escaped lock is never released

@@ -1,0 +1,88 @@
+// Fixture: lock-balance must stay quiet on the accepted disciplines —
+// release on every path, sim::ScopedLock, the null-guard conditional
+// release, a caller that releases an escaped lock, a semaphore handed to a
+// spawned worker under `// lint: lock-escapes`, and the worker's bare
+// ownership-receipt Release.
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+struct Store {
+  sim::Task<bool> Flush();
+  sim::Mutex& FileLock(int id);
+  // lint: lock-escapes
+  sim::Task<sim::Mutex*> TakeForWrite(int id);
+  sim::Task<void> ReleaseOnEveryPath(bool fail);
+  sim::Task<int> WithScopedGuard(int id);
+  sim::Task<void> NullGuard(bool flush, int id);
+  sim::Task<void> ReleaseEscapedLock(int id);
+  // Exits holding write-behind slots that FinishWriteBehind releases.
+  // lint: lock-escapes
+  sim::Task<void> PumpWriteBehind(int n);
+  sim::Task<void> FinishWriteBehind();
+  sim::Task<void> MacroAfterRelease();
+  sim::Mutex mu_;
+  sim::Semaphore slots_{4};
+};
+
+sim::Task<void> Store::ReleaseOnEveryPath(bool fail) {
+  co_await mu_.Acquire();
+  if (fail) {
+    mu_.Release();
+    co_return;  // quiet: released before the early exit
+  }
+  co_await Flush();
+  mu_.Release();
+}
+
+sim::Task<int> Store::WithScopedGuard(int id) {
+  sim::ScopedLock guard(FileLock(id));
+  co_await guard;
+  bool dirty = co_await Flush();
+  if (dirty) {
+    co_return 1;  // quiet: the guard releases on every exit
+  }
+  co_return 0;
+}
+
+sim::Task<void> Store::NullGuard(bool flush, int id) {
+  sim::Mutex* gate = nullptr;
+  if (flush) {
+    gate = &FileLock(id);
+    co_await gate->Acquire();
+  }
+  co_await Flush();
+  if (gate != nullptr) {
+    gate->Release();  // quiet: released under the acquire's condition
+  }
+}
+
+sim::Task<sim::Mutex*> Store::TakeForWrite(int id) {
+  sim::Mutex& lock = FileLock(id);
+  co_await lock.Acquire();
+  co_return &lock;  // waived: annotated lock-escapes
+}
+
+sim::Task<void> Store::ReleaseEscapedLock(int id) {
+  sim::Mutex* lock = co_await TakeForWrite(id);
+  co_await Flush();
+  if (lock != nullptr) {
+    lock->Release();  // quiet: the inherited obligation is discharged
+  }
+}
+
+sim::Task<void> Store::PumpWriteBehind(int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await slots_.Acquire();  // handed to a spawned worker; waived
+  }
+}
+
+sim::Task<void> Store::FinishWriteBehind() {
+  co_await Flush();
+  slots_.Release();  // quiet: ownership received from PumpWriteBehind
+}
+
+sim::Task<void> Store::MacroAfterRelease() {
+  co_await mu_.Acquire();
+  mu_.Release();
+  CO_RETURN_IF_ERROR(co_await Flush());  // quiet: nothing held at the exit
+}

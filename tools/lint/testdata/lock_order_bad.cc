@@ -1,0 +1,30 @@
+// Fixture: lock-order must fire when two functions acquire the same pair of
+// locks in opposite orders — each path is locally balanced, but two
+// activities interleaving them can each hold one lock and wait forever on
+// the other.
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+struct Pair {
+  sim::Task<bool> Work();
+  sim::Task<void> FlushThenLog();
+  sim::Task<void> LogThenFlush();
+  sim::Mutex flush_;
+  sim::Mutex log_;
+};
+
+sim::Task<void> Pair::FlushThenLog() {
+  co_await flush_.Acquire();
+  co_await log_.Acquire();  // edge flush_ -> log_
+  co_await Work();
+  log_.Release();
+  flush_.Release();
+}
+
+sim::Task<void> Pair::LogThenFlush() {
+  co_await log_.Acquire();
+  co_await flush_.Acquire();  // fires: edge log_ -> flush_ closes the cycle
+  co_await Work();
+  flush_.Release();
+  log_.Release();
+}

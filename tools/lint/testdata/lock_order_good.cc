@@ -1,0 +1,34 @@
+// Fixture: lock-order must stay quiet when every path acquires the locks in
+// one global order, including an edge contributed through a callee's
+// may-acquire set rather than a direct nested acquire.
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+struct Pair {
+  sim::Task<bool> Work();
+  sim::Task<void> FlushThenLog();
+  sim::Task<void> LockLog();
+  sim::Task<void> FlushThenLogViaCallee();
+  sim::Mutex flush_;
+  sim::Mutex log_;
+};
+
+sim::Task<void> Pair::FlushThenLog() {
+  co_await flush_.Acquire();
+  co_await log_.Acquire();  // edge flush_ -> log_
+  co_await Work();
+  log_.Release();
+  flush_.Release();
+}
+
+sim::Task<void> Pair::LockLog() {
+  co_await log_.Acquire();
+  co_await Work();
+  log_.Release();
+}
+
+sim::Task<void> Pair::FlushThenLogViaCallee() {
+  co_await flush_.Acquire();
+  co_await LockLog();  // propagated edge flush_ -> log_: same order, quiet
+  flush_.Release();
+}
