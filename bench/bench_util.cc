@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdlib>
 #include <memory>
@@ -190,6 +191,14 @@ std::string JsonNum(double v) {
 
 std::string JsonInt(uint64_t v) { return std::to_string(v); }
 
+std::string ChecksumHex(uint64_t checksum) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, checksum);
+  return buf;
+}
+
+}  // namespace
+
 std::string RpcCountsJson(const metrics::OpCounters& rpcs) {
   std::string out = "{";
   bool first = true;
@@ -221,13 +230,36 @@ std::string LatencyJson(const std::map<std::string, metrics::Histogram>& by_op) 
   return out;
 }
 
-std::string ChecksumHex(uint64_t checksum) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, checksum);
-  return buf;
+std::string RpcByMachineJson(std::vector<metrics::MachineOps> machines) {
+  std::sort(machines.begin(), machines.end(),
+            [](const metrics::MachineOps& a, const metrics::MachineOps& b) {
+              return a.machine < b.machine;
+            });
+  std::string out = "{";
+  for (size_t i = 0; i < machines.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\"m" + std::to_string(machines[i].machine) + "\":" + RpcCountsJson(machines[i].ops);
+  }
+  out += "}";
+  return out;
 }
 
-}  // namespace
+std::string LatencyByMachineJson(
+    const std::map<int, std::map<std::string, metrics::Histogram>>& by_machine) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [machine, by_op] : by_machine) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"m" + std::to_string(machine) + "\":" + LatencyJson(by_op);
+  }
+  out += "}";
+  return out;
+}
 
 std::string AndrewRunJson(const AndrewRun& run) {
   std::string out = "{";

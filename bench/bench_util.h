@@ -94,6 +94,17 @@ inline double Ratio(double a, double b) { return b == 0 ? 0 : a / b; }
 std::string AndrewRunJson(const AndrewRun& run);
 std::string SortRunJson(const SortRun& run);
 
+// Building blocks for custom bench JSON (bench_fleet): {"op":count,...} in
+// OpKind declaration order, and {"op":{count,mean,p50,p95,p99},...}.
+std::string RpcCountsJson(const metrics::OpCounters& rpcs);
+std::string LatencyJson(const std::map<std::string, metrics::Histogram>& by_op);
+
+// Per-machine forms, keyed "m<id>" in ascending machine-id order so the
+// output is deterministic regardless of collection order.
+std::string RpcByMachineJson(std::vector<metrics::MachineOps> machines);
+std::string LatencyByMachineJson(
+    const std::map<int, std::map<std::string, metrics::Histogram>>& by_machine);
+
 // Wraps named config objects as {"bench": <name>, "configs": {...}} and
 // writes the file (aborts on I/O failure, which a bench run should surface).
 void WriteBenchJson(const std::string& path, const std::string& bench_name,

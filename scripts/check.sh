@@ -53,6 +53,20 @@ echo "== trace checker: one fault-sweep seed with causal-trace validation =="
 echo "== simperf smoke: simulator hot path still runs all four loads =="
 ./build/bench/bench_simperf --smoke >/dev/null
 
+echo "== fleet smoke: sharded rig, metadata tier, trace-checked fault seeds =="
+# Scaled-down hotset/boot-storm sweeps plus the fleet fault seeds
+# (shard crash, cache partition) with the shard-aware stale-read checker;
+# any trace violation aborts the run. Budgeted like snfslint: the smoke
+# sweep is part of the edit loop and must stay in the 10s class.
+fleet_start_ns=$(date +%s%N)
+./build/bench/bench_fleet --smoke >/dev/null
+fleet_ms=$(( ($(date +%s%N) - fleet_start_ns) / 1000000 ))
+echo "bench_fleet --smoke wall time: ${fleet_ms} ms (budget 10000 ms)"
+if [ "$fleet_ms" -gt 10000 ]; then
+  echo "FAIL: bench_fleet --smoke exceeded its 10s wall-time budget" >&2
+  exit 1
+fi
+
 echo "== calibrated benches: byte-identical to pinned baselines =="
 # Deterministic bench output — elapsed times, three-way (NFS/SNFS/NQNFS)
 # RPC matrices, trace checksums — must never move unnoticed: it is diffed
@@ -85,7 +99,7 @@ cmake --preset asan
 # a suspended create/read, lease expiry mid-upgrade): their bugs only show
 # as use-after-free, so they run under the sanitizers too.
 cmake --build build-asan -j --target fault_injection_test rpc_test recovery_test \
-  fs_test hybrid_test nqnfs_test
+  fs_test hybrid_test nqnfs_test fleet_test
 # Leak detection stays off: coroutine frames still suspended when a Simulator
 # is torn down are reported as leaks. This is a pre-existing, codebase-wide
 # pattern (the seed's sim_test reports the same under ASan); ASan/UBSan still
@@ -99,5 +113,9 @@ export ASAN_OPTIONS=detect_leaks=0
 # NQNFS lease expiry races whole-file flushes and vacate callbacks race
 # crashes: one more place lifetime bugs only show as use-after-free.
 ./build-asan/tests/nqnfs_test
+# The metadata tier coalesces concurrent fills onto one shard RPC: parked
+# handler coroutines joining another request's future are exactly where a
+# frame-lifetime bug would surface as use-after-free.
+./build-asan/tests/fleet_test
 
 echo "All checks passed."

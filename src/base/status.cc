@@ -38,6 +38,8 @@ std::string_view CodeName(Code code) {
       return "unavailable";
     case Code::kInconsistent:
       return "inconsistent";
+    case Code::kXDev:
+      return "xdev";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class Code : uint8_t {
   kNotSupported,  // operation not implemented by this file system
   kUnavailable,   // server down / in recovery grace period
   kInconsistent,  // SNFS: file may be inconsistent (dead-client callback, §3.2)
+  kXDev,          // EXDEV: cross-device (cross-mount / cross-shard) rename
 };
 
 // Returns the canonical lowercase name, e.g. "stale" for Code::kStale.
@@ -71,6 +72,7 @@ class [[nodiscard]] Status {
 [[nodiscard]] constexpr Status ErrNotSupported() { return Status(Code::kNotSupported); }
 [[nodiscard]] constexpr Status ErrUnavailable() { return Status(Code::kUnavailable); }
 [[nodiscard]] constexpr Status ErrInconsistent() { return Status(Code::kInconsistent); }
+[[nodiscard]] constexpr Status ErrXDev() { return Status(Code::kXDev); }
 
 }  // namespace base
 

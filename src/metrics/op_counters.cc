@@ -1,0 +1,23 @@
+#include "src/metrics/op_counters.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace metrics {
+
+OpCounters SumAcrossMachines(std::vector<MachineOps> machines) {
+  std::sort(machines.begin(), machines.end(),
+            [](const MachineOps& a, const MachineOps& b) { return a.machine < b.machine; });
+  OpCounters sum;
+  for (size_t i = 0; i < machines.size(); ++i) {
+    if (i > 0) {
+      CHECK_NE(machines[i].machine, machines[i - 1].machine);
+    }
+    machines[i].ops.ForEachNonZero(
+        [&sum](proto::OpKind kind, uint64_t n) { sum.Add(kind, n); });
+  }
+  return sum;
+}
+
+}  // namespace metrics

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "src/proto/messages.h"
 
@@ -60,6 +61,18 @@ class OpCounters {
 
   std::array<uint64_t, proto::kNumOpKinds> counts_{};
 };
+
+// One machine's counters, tagged with its testbed machine id. Fleet benches
+// collect one of these per server / per client.
+struct MachineOps {
+  int machine = 0;
+  OpCounters ops;
+};
+
+// Sums counters across machines. The input is sorted by machine id first
+// (ids must be distinct) so the result — and anything an exporter derives
+// from the sorted copy — is deterministic regardless of collection order.
+OpCounters SumAcrossMachines(std::vector<MachineOps> machines);
 
 }  // namespace metrics
 

@@ -43,6 +43,14 @@ struct RequestSize {
   uint32_t operator()(const PingReq&) const { return 8; }
   uint32_t operator()(const ReopenReq&) const { return kFhBytes + 20; }
   uint32_t operator()(const GetLeaseReq&) const { return kFhBytes + 4; }
+  uint32_t operator()(const MetaInvalReq& r) const {
+    uint32_t n = 12;  // counts + drop_all flag
+    n += static_cast<uint32_t>(r.handles.size()) * kFhBytes;
+    for (const MetaInvalEntry& e : r.entries) {
+      n += kFhBytes + 4 + static_cast<uint32_t>(e.name.size());
+    }
+    return n;
+  }
 };
 
 struct ReplySize {
@@ -67,6 +75,7 @@ struct ReplySize {
   uint32_t operator()(const PingRep&) const { return 12; }
   uint32_t operator()(const ReopenRep&) const { return 12; }
   uint32_t operator()(const GetLeaseRep&) const { return 40 + kAttrBytes; }
+  uint32_t operator()(const MetaInvalRep&) const { return 4; }
 };
 
 // Bytes added to a reply that carries a piggybacked lease extension
@@ -113,6 +122,8 @@ std::string_view OpKindName(OpKind kind) {
       return "reopen";
     case OpKind::kGetLease:
       return "getlease";
+    case OpKind::kMetaInval:
+      return "metainval";
     case OpKind::kOpCount:
       break;
   }
@@ -139,6 +150,7 @@ OpKind KindOf(const Request& request) {
     OpKind operator()(const PingReq&) const { return OpKind::kPing; }
     OpKind operator()(const ReopenReq&) const { return OpKind::kReopen; }
     OpKind operator()(const GetLeaseReq&) const { return OpKind::kGetLease; }
+    OpKind operator()(const MetaInvalReq&) const { return OpKind::kMetaInval; }
   };
   return std::visit(Visitor{}, request);
 }

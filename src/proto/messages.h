@@ -44,6 +44,8 @@ enum class OpKind : uint8_t {
   kReopen,
   // NQNFS lease addition.
   kGetLease,
+  // Fleet metadata-cache invalidation.
+  kMetaInval,
   kOpCount,  // sentinel
 };
 
@@ -170,10 +172,25 @@ struct GetLeaseReq {
   bool write_mode = false;
 };
 
+// Fleet metadata-cache invalidation (src/fleet/meta_cache.h): drop cached
+// attributes for `handles`, cached name bindings for `entries`, or (for
+// `drop_all`) the whole cache. Idempotent — dropping an entry twice is a
+// no-op — so it is retransmit-safe without duplicate-request caching.
+struct MetaInvalEntry {
+  FileHandle dir;
+  std::string name;
+};
+
+struct MetaInvalReq {
+  std::vector<FileHandle> handles;
+  std::vector<MetaInvalEntry> entries;
+  bool drop_all = false;
+};
+
 using Request =
     std::variant<NullReq, GetAttrReq, SetAttrReq, LookupReq, ReadReq, WriteReq, CreateReq,
                  RemoveReq, RenameReq, MkdirReq, RmdirReq, ReadDirReq, OpenReq, CloseReq,
-                 CallbackReq, PingReq, ReopenReq, GetLeaseReq>;
+                 CallbackReq, PingReq, ReopenReq, GetLeaseReq, MetaInvalReq>;
 
 OpKind KindOf(const Request& request);
 
@@ -258,9 +275,11 @@ struct GetLeaseRep {
   bool possibly_inconsistent = false;
 };
 
+struct MetaInvalRep {};
+
 using ReplyBody =
     std::variant<std::monostate, NullRep, AttrRep, LookupRep, ReadRep, CreateRep, ReadDirRep,
-                 OpenRep, CloseRep, CallbackRep, PingRep, ReopenRep, GetLeaseRep>;
+                 OpenRep, CloseRep, CallbackRep, PingRep, ReopenRep, GetLeaseRep, MetaInvalRep>;
 
 struct Reply {
   base::Status status;

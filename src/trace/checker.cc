@@ -33,6 +33,15 @@ struct ExecKey {
   friend auto operator<=>(const ExecKey&, const ExecKey&) = default;
 };
 
+// Shard-aware stale-read: a file in the fleet is identified by
+// (fsid, fileid) — the fsid names the owning shard, so one checker map
+// covers every shard at once.
+struct ShardFileKey {
+  uint64_t fsid;
+  uint64_t file;
+  friend auto operator<=>(const ShardFileKey&, const ShardFileKey&) = default;
+};
+
 // lease-expired-read: what an NQNFS client holds for one file.
 struct ClientLease {
   uint64_t version = 0;
@@ -47,8 +56,10 @@ bool IsIdempotentOp(std::string_view op) {
   // absolute per-client counts. open/close/callback mutate reference counts
   // and create/remove/rename/mkdir/rmdir mutate the namespace — re-executing
   // any of those is observable.
+  // metainval drops cache entries; dropping twice is a no-op.
   return op == "null" || op == "getattr" || op == "setattr" || op == "lookup" || op == "read" ||
-         op == "write" || op == "readdir" || op == "ping" || op == "reopen" || op == "getlease";
+         op == "write" || op == "readdir" || op == "ping" || op == "reopen" ||
+         op == "getlease" || op == "metainval";
 }
 
 std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
@@ -64,6 +75,9 @@ std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
   // dual-write-lease: file -> (holder host -> expiry). Never cleared by a
   // machine.crash: a dead server's promises are retired by the clock alone.
   std::map<uint64_t, std::map<int, sim::Time>> write_leases;
+  // shard-aware stale-read: (fsid, file) -> highest version committed
+  // through the meta-cache (the linearization point for fleet mutations).
+  std::map<ShardFileKey, uint64_t> fleet_committed;
 
   for (size_t i = 0; i < events.size(); ++i) {
     const Event& e = events[i];
@@ -179,6 +193,32 @@ std::vector<Violation> CheckTrace(const std::vector<Event>& events) {
     } else if (e.kind == EventKind::kInstant && e.name == "cache.file_clean" &&
                (ArgValue(e.args, "scope") == "snfs" || ArgValue(e.args, "scope") == "nqnfs")) {
       dirty[ParseU64(ArgValue(e.args, "file"))].erase(e.machine);
+    } else if (e.kind == EventKind::kInstant && e.name == "fleet.commit") {
+      // A mutation's reply passed through the meta-cache: the owning
+      // shard's committed version for this file is now at least `v`.
+      // Replies of racing mutations can be observed out of order, so the
+      // floor only ever rises.
+      ShardFileKey key{ParseU64(ArgValue(e.args, "fsid")), ParseU64(ArgValue(e.args, "file"))};
+      uint64_t version = ParseU64(ArgValue(e.args, "v"));
+      uint64_t& floor = fleet_committed[key];
+      if (version > floor) {
+        floor = version;
+      }
+    } else if (e.kind == EventKind::kInstant && e.name == "fleet.meta_serve") {
+      // The meta-cache answered a getattr/lookup from its cache. It must
+      // reflect the owning shard's latest committed version — serving
+      // anything older is the shard-aware stale read.
+      ShardFileKey key{ParseU64(ArgValue(e.args, "fsid")), ParseU64(ArgValue(e.args, "file"))};
+      uint64_t version = ParseU64(ArgValue(e.args, "v"));
+      auto it = fleet_committed.find(key);
+      if (it != fleet_committed.end() && version < it->second) {
+        out.push_back(Violation{
+            "stale-read", i,
+            "meta-cache m" + std::to_string(e.machine) + " served file " +
+                std::to_string(key.file) + " of shard fsid " + std::to_string(key.fsid) +
+                " at version " + std::to_string(version) +
+                " but the shard's latest committed version is " + std::to_string(it->second)});
+      }
     } else if (e.kind == EventKind::kInstant && e.name == "machine.crash") {
       // Cached state — grants, client-held leases, dirty blocks — died with
       // the kernel. Server-side write-lease records deliberately survive:

@@ -8,6 +8,12 @@
 //                    `snfs.read_observe` must carry a version >= the version
 //                    of the client's most recent `snfs.open_granted` for the
 //                    file, and must not occur at all without a grant.
+//                    Shard-aware extension (src/fleet): a getattr/lookup the
+//                    meta-cache answers from its cache (`fleet.meta_serve`,
+//                    keyed by fsid+file so each shard's namespace is
+//                    tracked separately) must reflect the owning shard's
+//                    latest committed version (`fleet.commit`, emitted when
+//                    a mutation's reply passes through the cache).
 //  concurrent-dirty  No two clients hold write-dirty cached blocks of the
 //                    same file at the same time (`cache.file_dirty` /
 //                    `cache.file_clean` transitions with scope=snfs). A

@@ -242,6 +242,30 @@ std::map<std::string, metrics::Histogram> Recorder::SpanDurationsBy(std::string_
   return out;
 }
 
+std::map<int, std::map<std::string, metrics::Histogram>> Recorder::SpanDurationsByMachine(
+    std::string_view name, std::string_view key) const {
+  struct Open {
+    sim::Time begin;
+    int machine;
+    std::string bucket;
+  };
+  std::map<uint64_t, Open> open;
+  std::map<int, std::map<std::string, metrics::Histogram>> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kSpanBegin && e.name == name) {
+      open.emplace(e.span, Open{e.at, e.machine, std::string(ArgValue(e.args, key))});
+    } else if (e.kind == EventKind::kSpanEnd) {
+      auto it = open.find(e.span);
+      if (it != open.end()) {
+        out[it->second.machine][it->second.bucket].Add(
+            static_cast<double>(e.at - it->second.begin));
+        open.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
 void Span::Begin(std::string name, int machine, std::string args) {
   Recorder* recorder = Active();
   if (recorder == nullptr || id_ != 0) {

@@ -103,6 +103,11 @@ class Recorder {
   std::map<std::string, metrics::Histogram> SpanDurationsBy(std::string_view name,
                                                             std::string_view key) const;
 
+  // Same, additionally grouped by the machine the span began on — the fleet
+  // benches use this to report per-server RPC latency percentiles.
+  std::map<int, std::map<std::string, metrics::Histogram>> SpanDurationsByMachine(
+      std::string_view name, std::string_view key) const;
+
  private:
   struct SpanInfo {
     int machine = -1;

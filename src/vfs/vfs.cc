@@ -213,7 +213,10 @@ sim::Task<base::Result<void>> Vfs::Rename(std::string from, std::string to) {
   CO_ASSIGN_OR_RETURN(ResolvedParent src, co_await ResolveParent(from));
   CO_ASSIGN_OR_RETURN(ResolvedParent dst, co_await ResolveParent(to));
   if (src.fs != dst.fs) {
-    co_return base::ErrInval();  // no cross-mount rename
+    // Cross-mount (and therefore cross-shard) rename cannot be done as one
+    // namespace operation; surface the Unix EXDEV error rather than
+    // silently misrouting the rename to one of the two file systems.
+    co_return base::ErrXDev();
   }
   co_return co_await src.fs->Rename(src.dir, src.leaf, dst.dir, dst.leaf);
 }

@@ -1,0 +1,163 @@
+#include "src/workload/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace workload {
+namespace {
+
+std::string DirName(int d) { return "d" + std::to_string(d); }
+std::string FileName(int f) { return "f" + std::to_string(f); }
+
+std::vector<uint8_t> SyntheticBytes(sim::Rng& rng, uint32_t n) {
+  std::vector<uint8_t> v(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    v[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+// Cumulative Zipf(s) distribution over ranks 0..n-1, normalized to [0, 1].
+std::vector<double> ZipfCdf(int n, double s) {
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[static_cast<size_t>(i)] = total;
+  }
+  for (double& c : cdf) {
+    c /= total;
+  }
+  return cdf;
+}
+
+int SampleZipf(const std::vector<double>& cdf, sim::Rng& rng) {
+  double r = rng.UniformDouble();
+  auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+  if (it == cdf.end()) {
+    return static_cast<int>(cdf.size()) - 1;
+  }
+  return static_cast<int>(it - cdf.begin());
+}
+
+// Catalog slot i -> path: round-robin across shards, then row-major within
+// the shard's tree, so the hot head of a skewed distribution touches every
+// shard.
+std::string CatalogPath(const std::vector<std::string>& shard_roots, const std::string& tree,
+                        FleetTreeShape shape, int i) {
+  int shards = static_cast<int>(shard_roots.size());
+  int shard = i % shards;
+  int within = i / shards;
+  int dir = within / shape.files_per_dir;
+  int file = within % shape.files_per_dir;
+  return shard_roots[static_cast<size_t>(shard)] + "/" + tree + "/" + DirName(dir) + "/" +
+         FileName(file);
+}
+
+}  // namespace
+
+sim::Task<void> PopulateFleetTree(fs::LocalFs& fs, proto::FileHandle parent,
+                                  std::string tree_name, FleetTreeShape shape) {
+  sim::Rng rng(shape.seed);
+  auto tree = co_await fs.Mkdir(parent, tree_name);
+  CHECK(tree.ok());
+  for (int d = 0; d < shape.dirs; ++d) {
+    auto dir = co_await fs.Mkdir(tree->fh, DirName(d));
+    CHECK(dir.ok());
+    for (int f = 0; f < shape.files_per_dir; ++f) {
+      auto file = co_await fs.Create(dir->fh, FileName(f), /*exclusive=*/true);
+      CHECK(file.ok());
+      auto wrote = co_await fs.Write(file->fh, 0, SyntheticBytes(rng, shape.file_bytes),
+                                     fs::LocalFs::WriteMode::kMemory);
+      CHECK(wrote.ok());
+    }
+  }
+}
+
+sim::Task<base::Result<BootStormReport>> RunBootStorm(sim::Simulator& simulator, vfs::Vfs& vfs,
+                                                      sim::Cpu& cpu, BootStormConfig config) {
+  BootStormReport report;
+  sim::Time start = simulator.Now();
+  for (size_t s = 0; s < config.shard_roots.size(); ++s) {
+    std::string tree = config.shard_roots[s] + "/" + config.tree_name;
+    auto dirs = co_await vfs.ReadDir(tree);
+    if (!dirs.ok()) {
+      ++report.errors;
+      continue;
+    }
+    for (size_t d = 0; d < dirs->size(); ++d) {
+      std::string dir_path = tree + "/" + (*dirs)[d].name;
+      auto dir_attr = co_await vfs.Stat(dir_path);
+      if (!dir_attr.ok()) {
+        ++report.errors;
+        continue;
+      }
+      co_await cpu.Run(config.cpu.stat_per_file);
+      auto files = co_await vfs.ReadDir(dir_path);
+      if (!files.ok()) {
+        ++report.errors;
+        continue;
+      }
+      for (size_t f = 0; f < files->size(); ++f) {
+        std::string file_path = dir_path + "/" + (*files)[f].name;
+        auto attr = co_await vfs.Stat(file_path);
+        if (!attr.ok()) {
+          ++report.errors;
+          continue;
+        }
+        co_await cpu.Run(config.cpu.stat_per_file);
+        auto data = co_await vfs.ReadFile(file_path);
+        if (!data.ok()) {
+          ++report.errors;
+          continue;
+        }
+        ++report.files_read;
+        report.bytes_read += data->size();
+        co_await cpu.Run(config.cpu.read_per_kb *
+                         static_cast<int64_t>(1 + data->size() / 1024));
+      }
+    }
+  }
+  report.elapsed = simulator.Now() - start;
+  co_return report;
+}
+
+sim::Task<base::Result<HotsetReport>> RunHotset(sim::Simulator& simulator, vfs::Vfs& vfs,
+                                                sim::Cpu& cpu, HotsetConfig config) {
+  int catalog = static_cast<int>(config.shard_roots.size()) * config.shape.dirs *
+                config.shape.files_per_dir;
+  CHECK_GT(catalog, 0);
+  std::vector<double> cdf = ZipfCdf(catalog, config.zipf_s);
+  sim::Rng rng(config.seed);
+
+  HotsetReport report;
+  sim::Time start = simulator.Now();
+  for (int op = 0; op < config.ops; ++op) {
+    int slot = SampleZipf(cdf, rng);
+    std::string path = CatalogPath(config.shard_roots, config.tree_name, config.shape, slot);
+    auto fd = co_await vfs.Open(path, vfs::OpenFlags::ReadOnly());
+    if (!fd.ok()) {
+      ++report.errors;
+      continue;
+    }
+    auto data = co_await vfs.Pread(*fd, 0, config.read_bytes);
+    if (!data.ok()) {
+      ++report.errors;
+    } else {
+      ++report.ops_done;
+      report.bytes_read += data->size();
+      co_await cpu.Run(config.cpu.read_per_kb * static_cast<int64_t>(1 + data->size() / 1024));
+    }
+    auto closed = co_await vfs.Close(*fd);
+    if (!closed.ok()) {
+      ++report.errors;
+    }
+  }
+  report.elapsed = simulator.Now() - start;
+  co_return report;
+}
+
+}  // namespace workload

@@ -1,0 +1,101 @@
+// Fleet-scale workloads (AutoClient/BaBar-style stress cases, PAPERS.md):
+//
+//   Boot storm    every client cold-walks and reads the same boot tree on
+//                 every shard at once — the pathological shared-metadata
+//                 storm (stat + lookup per component, then reads) that a
+//                 network metadata-cache tier exists to absorb.
+//
+//   Zipf hotset   each client runs open-read-close loops over a shared file
+//                 catalog with Zipf-distributed popularity; files are
+//                 spread round-robin across shards so aggregate throughput
+//                 scales with the shard count when the servers are the
+//                 bottleneck.
+//
+// Both workloads are pure vfs consumers: they run unchanged against a
+// single server, a sharded fleet, or a fleet behind the meta-cache tier.
+#ifndef SRC_WORKLOAD_FLEET_H_
+#define SRC_WORKLOAD_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/fs/local_fs.h"
+#include "src/sim/cpu.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/vfs/vfs.h"
+
+namespace workload {
+
+// Shape of one shard's slice of a fleet tree.
+struct FleetTreeShape {
+  int dirs = 2;
+  int files_per_dir = 8;
+  uint32_t file_bytes = 8192;
+  uint64_t seed = 1989;
+};
+
+// Out-of-band population of `tree_name` under one shard's exported
+// directory (direct LocalFs access, no RPCs — mirrors PopulateAndrewTree).
+sim::Task<void> PopulateFleetTree(fs::LocalFs& fs, proto::FileHandle parent,
+                                  std::string tree_name, FleetTreeShape shape);
+
+// CPU model for the fleet clients (stat-processing and read-processing
+// costs in the spirit of the Andrew scan/read phases, but lighter — these
+// are daemons booting, not compilers).
+struct FleetCpuModel {
+  sim::Duration stat_per_file = sim::Msec(2);
+  sim::Duration read_per_kb = sim::Msec(1);
+};
+
+struct BootStormConfig {
+  std::vector<std::string> shard_roots;  // e.g. {"/data/s0", "/data/s1"}
+  std::string tree_name = "boot";
+  FleetTreeShape shape;
+  FleetCpuModel cpu;
+};
+
+struct BootStormReport {
+  uint64_t files_read = 0;
+  uint64_t bytes_read = 0;
+  uint64_t errors = 0;
+  sim::Duration elapsed = 0;
+};
+
+// One client's boot: walk every shard root's boot tree (readdir + stat every
+// entry) and read every file. Errors are counted, not fatal — fault-sweep
+// runs boot clients through shard crashes.
+sim::Task<base::Result<BootStormReport>> RunBootStorm(sim::Simulator& simulator, vfs::Vfs& vfs,
+                                                      sim::Cpu& cpu, BootStormConfig config);
+
+struct HotsetConfig {
+  std::vector<std::string> shard_roots;
+  std::string tree_name = "hot";
+  FleetTreeShape shape;   // per-shard slice; catalog = shards * dirs * files
+  FleetCpuModel cpu;
+  int ops = 200;          // open-read-close iterations
+  double zipf_s = 0.9;    // popularity skew (s=0 is uniform)
+  uint32_t read_bytes = 4096;
+  uint64_t seed = 1;      // per-client stream
+};
+
+struct HotsetReport {
+  uint64_t ops_done = 0;
+  uint64_t bytes_read = 0;
+  uint64_t errors = 0;
+  sim::Duration elapsed = 0;
+};
+
+// One client's share of the hotset load: `ops` open-read-close iterations
+// over the catalog, file picked per-op from a Zipf distribution. File i
+// lives on shard i % num_shards, so the hot head of the distribution is
+// spread across the whole fleet.
+sim::Task<base::Result<HotsetReport>> RunHotset(sim::Simulator& simulator, vfs::Vfs& vfs,
+                                                sim::Cpu& cpu, HotsetConfig config);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_FLEET_H_

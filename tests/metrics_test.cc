@@ -102,6 +102,27 @@ TEST(OpCountersTest, ForEachNonZeroSkipsZeroAndEmpty) {
   EXPECT_EQ(visits, 1);
 }
 
+TEST(OpCountersTest, SumAcrossMachinesIsCollectionOrderInvariant) {
+  MachineOps a{/*machine=*/7, {}};
+  a.ops.Add(proto::OpKind::kRead, 2);
+  a.ops.Add(proto::OpKind::kGetAttr, 1);
+  MachineOps b{/*machine=*/3, {}};
+  b.ops.Add(proto::OpKind::kRead, 1);
+  b.ops.Add(proto::OpKind::kWrite, 5);
+  MachineOps c{/*machine=*/5, {}};  // idle machine contributes nothing
+
+  OpCounters forward = SumAcrossMachines({a, b, c});
+  OpCounters backward = SumAcrossMachines({c, b, a});
+  EXPECT_EQ(forward.Get(proto::OpKind::kRead), 3u);
+  EXPECT_EQ(forward.Get(proto::OpKind::kWrite), 5u);
+  EXPECT_EQ(forward.Get(proto::OpKind::kGetAttr), 1u);
+  EXPECT_EQ(forward.Total(), 9u);
+  for (int i = 0; i < proto::kNumOpKinds; ++i) {
+    auto kind = static_cast<proto::OpKind>(i);
+    EXPECT_EQ(forward.Get(kind), backward.Get(kind));
+  }
+}
+
 TEST(HistogramTest, NearestRankPercentiles) {
   Histogram h;
   for (int i = 100; i >= 1; --i) {  // insertion order must not matter

@@ -270,6 +270,35 @@ TEST(TraceCheckerTest, CrashClearsDirtyStateAndGrants) {
   EXPECT_EQ(Rules(trace::CheckTrace(events)), (std::vector<std::string>{"stale-read"}));
 }
 
+// --- fleet meta-cache fixtures ---------------------------------------------
+
+TEST(TraceCheckerTest, FleetStaleMetaServeIsFlagged) {
+  // The shard committed version 40 through the cache, but the cache then
+  // serves version 39 — a stale metadata serve the interposition design
+  // should make impossible.
+  std::vector<Event> events;
+  events.push_back(Instant("fleet.commit", 5, "fsid=2 file=7 v=40 shard=1"));
+  events.push_back(Instant("fleet.meta_serve", 5, "fsid=2 file=7 v=39 src=attr"));
+  std::vector<trace::Violation> violations = trace::CheckTrace(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "stale-read");
+  EXPECT_EQ(violations[0].event_index, 1u);
+  EXPECT_NE(violations[0].message.find("version 39"), std::string::npos);
+}
+
+TEST(TraceCheckerTest, FleetFreshAndUnfloorServesAreClean) {
+  std::vector<Event> events;
+  events.push_back(Instant("fleet.commit", 5, "fsid=2 file=7 v=40 shard=1"));
+  // Serving at or beyond the committed floor is fine.
+  events.push_back(Instant("fleet.meta_serve", 5, "fsid=2 file=7 v=40 src=attr"));
+  events.push_back(Instant("fleet.meta_serve", 5, "fsid=2 file=7 v=41 src=lookup"));
+  // The same file id on another shard (fsid) is a different file.
+  events.push_back(Instant("fleet.meta_serve", 5, "fsid=3 file=7 v=1 src=attr"));
+  // No committed floor for this file: nothing to be stale against.
+  events.push_back(Instant("fleet.meta_serve", 5, "fsid=2 file=8 v=1 src=attr"));
+  EXPECT_TRUE(trace::CheckTrace(events).empty());
+}
+
 // --- NQNFS lease fixtures --------------------------------------------------
 
 TEST(TraceCheckerTest, SeededExpiredLeaseReadIsFlagged) {

@@ -151,7 +151,7 @@ TEST(VfsTest, RenameAcrossMountsRejected) {
   rig.vfs.Mount("/data", &rig.mount_b);
   RUN(rig, {
     EXPECT_TRUE((co_await rig.vfs.WriteFile("/f", Bytes("x"))).ok());
-    EXPECT_EQ((co_await rig.vfs.Rename("/f", "/data/f")).status(), base::ErrInval());
+    EXPECT_EQ((co_await rig.vfs.Rename("/f", "/data/f")).status(), base::ErrXDev());
     completed = true;
   });
 }
